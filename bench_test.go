@@ -1,0 +1,252 @@
+package carbonshift_test
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus ablations of the algorithmic choices DESIGN.md calls
+// out. Each figure benchmark runs the corresponding experiment on the
+// shared full dataset and reports the resulting rows via b.Log on the
+// first iteration, so `go test -bench=. -benchmem` both regenerates
+// and times every result.
+//
+// Note on caching: the Lab memoizes temporal sweeps, so the first
+// iteration of the Figure 7-10 family pays the full cost and later
+// iterations measure the assembled-table path. The ablation benchmarks
+// below measure the raw kernels without caching.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"carbonshift/internal/core"
+	"carbonshift/internal/fft"
+	"carbonshift/internal/rng"
+	"carbonshift/internal/simgrid"
+	"carbonshift/internal/spatial"
+	"carbonshift/internal/stats"
+	"carbonshift/internal/temporal"
+	"carbonshift/internal/trace"
+)
+
+var (
+	labOnce sync.Once
+	lab     *core.Lab
+)
+
+func sharedLab(b *testing.B) *core.Lab {
+	b.Helper()
+	labOnce.Do(func() {
+		var err error
+		lab, err = core.NewLab(core.Options{Sim: simgrid.Config{Seed: 1}})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return lab
+}
+
+func benchExperiment(b *testing.B, id string) {
+	l := sharedLab(b)
+	exp, err := core.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := exp.Run(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkFig1_TraceAndMix(b *testing.B)       { benchExperiment(b, "fig1") }
+func BenchmarkFig3a_MeanCV(b *testing.B)           { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b_ChangeOverTime(b *testing.B)   { benchExperiment(b, "fig3b") }
+func BenchmarkFig4_Periodicity(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5a_InfiniteCapacity(b *testing.B) { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b_HalfIdle(b *testing.B)         { benchExperiment(b, "fig5b") }
+func BenchmarkFig5c_IdleSweep(b *testing.B)        { benchExperiment(b, "fig5c") }
+func BenchmarkFig6a_CapacityLatency(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b_OneVsInf(b *testing.B)         { benchExperiment(b, "fig6b") }
+func BenchmarkFig7_Defer(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8_Interrupt(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig9_Combined(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10_Distributions(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig10d_SlackSweep(b *testing.B)      { benchExperiment(b, "fig10d") }
+func BenchmarkFig11a_Mixed(b *testing.B)           { benchExperiment(b, "fig11a") }
+func BenchmarkFig11b_PredictionError(b *testing.B) { benchExperiment(b, "fig11b") }
+func BenchmarkFig11c_GreenerTemporal(b *testing.B) { benchExperiment(b, "fig11c") }
+func BenchmarkFig11d_GreenerSpatial(b *testing.B)  { benchExperiment(b, "fig11d") }
+func BenchmarkFig12_CombinedShifting(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Extensions beyond the paper's figures (see DESIGN.md).
+
+func BenchmarkExtForecast(b *testing.B)   { benchExperiment(b, "ext-forecast") }
+func BenchmarkExtContention(b *testing.B) { benchExperiment(b, "ext-contention") }
+func BenchmarkExtOverhead(b *testing.B)   { benchExperiment(b, "ext-overhead") }
+
+// BenchmarkTable1_WorkloadSweep covers Table 1's configuration matrix:
+// a full single-region sweep across every job length and slack choice.
+func BenchmarkTable1_WorkloadSweep(b *testing.B) {
+	l := sharedLab(b)
+	tr := l.Set.MustGet("DE")
+	lengths := []int{1, 6, 12, 24, 48, 96, 168}
+	slacks := []int{24, 168, 576, 720, 8760}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, slack := range slacks {
+			for _, length := range lengths {
+				arrivals := l.Set.Len() - length - slack
+				if arrivals > 8760 {
+					arrivals = 8760
+				}
+				if _, err := temporal.Sweep(tr.CI, length, slack, arrivals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// --- Dataset generation ---
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := simgrid.GenerateAll(simgrid.Config{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+func yearSeries(b *testing.B) []float64 {
+	b.Helper()
+	src := rng.New(1)
+	ci := make([]float64, 8760)
+	for i := range ci {
+		ci[i] = 300 + 120*math.Sin(2*math.Pi*float64(i)/24) + src.Uniform(-30, 30)
+	}
+	return ci
+}
+
+// Deferral window search: O(n) sliding window vs O(n·k) rescan.
+func BenchmarkAblation_DeferWindowSliding(b *testing.B) {
+	ci := yearSeries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.MinWindowSum(ci, 168)
+	}
+}
+
+func BenchmarkAblation_DeferWindowNaive(b *testing.B) {
+	ci := yearSeries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.MinWindowSumNaive(ci, 168)
+	}
+}
+
+// Interruption slot selection: quickselect vs full sort.
+func BenchmarkAblation_MinKQuickselect(b *testing.B) {
+	ci := yearSeries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.SumBottomK(ci, 168)
+	}
+}
+
+func BenchmarkAblation_MinKFullSort(b *testing.B) {
+	ci := yearSeries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := stats.BottomKIndices(ci, 168)
+		var s float64
+		for _, j := range idx {
+			s += ci[j]
+		}
+		_ = s
+	}
+}
+
+// Arrival sweeps: the incremental Fenwick/deque sweep vs re-evaluating
+// every arrival from scratch.
+func BenchmarkAblation_SweepIncremental(b *testing.B) {
+	ci := yearSeries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := temporal.Sweep(ci, 24, 168, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_SweepNaive(b *testing.B) {
+	ci := yearSeries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := temporal.SweepNaive(ci, 24, 168, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ∞-migration argmin: precomputed envelope vs per-hour scans.
+func BenchmarkAblation_ArgminEnvelope(b *testing.B) {
+	l := sharedLab(b)
+	codes := l.Set.Regions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		min, err := spatial.MinSeries(l.Set, codes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = min
+	}
+}
+
+func BenchmarkAblation_ArgminPerHourScan(b *testing.B) {
+	l := sharedLab(b)
+	codes := l.Set.Regions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One year of hourly argmin scans through the Set interface.
+		if _, err := spatial.InfMigrationCost(l.Set, codes, 0, 8760); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FFT for periodicity: Bluestein at the exact series length vs
+// zero-padding to a power of two.
+func BenchmarkAblation_FFTBluesteinExact(b *testing.B) {
+	ci := yearSeries(b)
+	cx := make([]complex128, len(ci))
+	for i, v := range ci {
+		cx[i] = complex(v, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fft.FFT(cx)
+	}
+}
+
+func BenchmarkAblation_FFTPaddedRadix2(b *testing.B) {
+	ci := yearSeries(b)
+	padded := make([]complex128, 16384)
+	for i, v := range ci {
+		padded[i] = complex(v, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fft.FFT(padded)
+	}
+}
+
+// Keep the trace import alive for the envelope benchmark's types.
+var _ = trace.Hour

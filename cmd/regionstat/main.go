@@ -1,0 +1,78 @@
+// Command regionstat prints a per-region summary of the simulated
+// dataset: mean carbon intensity, daily variability, periodicity, and
+// cloud-provider presence — a quick way to inspect the catalog the
+// experiments run on.
+//
+// Usage:
+//
+//	regionstat              # all 123 regions, sorted by mean CI
+//	regionstat -hyperscale  # only GCP/AWS/Azure regions (Figure 4 set)
+//	regionstat -year 2022
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"carbonshift/internal/fft"
+	"carbonshift/internal/regions"
+	"carbonshift/internal/simgrid"
+	"carbonshift/internal/stats"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		year       = flag.Int("year", 2022, "calendar year to summarize")
+		hyperscale = flag.Bool("hyperscale", false, "only regions with GCP/AWS/Azure datacenters")
+	)
+	flag.Parse()
+
+	set, err := simgrid.GenerateAll(simgrid.Config{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regionstat:", err)
+		os.Exit(1)
+	}
+	yearSet, err := set.Year(*year)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regionstat:", err)
+		os.Exit(1)
+	}
+
+	type row struct {
+		reg     regions.Region
+		mean    float64
+		dailyCV float64
+		p24     float64
+	}
+	var rows []row
+	for _, r := range regions.All() {
+		if *hyperscale && !r.Providers.Hyperscale() {
+			continue
+		}
+		tr := yearSet.MustGet(r.Code)
+		rows = append(rows, row{
+			reg:     r,
+			mean:    tr.Mean(),
+			dailyCV: stats.DailyCV(tr.CI),
+			p24:     fft.ScoreAt(tr.CI, 24),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mean < rows[j].mean })
+
+	fmt.Printf("%-7s %-28s %-14s %8s %9s %7s  %s\n",
+		"code", "name", "continent", "mean_ci", "daily_cv", "p24", "providers")
+	for _, r := range rows {
+		fmt.Printf("%-7s %-28s %-14s %8.1f %9.3f %7.2f  %s\n",
+			r.reg.Code, r.reg.Name, r.reg.Continent, r.mean, r.dailyCV, r.p24, r.reg.Providers)
+	}
+	fmt.Printf("\n%d regions, %d mean CI %.1f g/kWh\n", len(rows), *year, func() float64 {
+		var s float64
+		for _, r := range rows {
+			s += r.mean
+		}
+		return s / float64(len(rows))
+	}())
+}

@@ -1,0 +1,13 @@
+// Package carbonshift reproduces "On the Limitations of Carbon-Aware
+// Temporal and Spatial Workload Shifting in the Cloud" (EuroSys 2024)
+// as a Go library: a generative grid simulator standing in for the
+// Electricity Maps dataset, the temporal and spatial shifting policy
+// engines, the what-if scenario machinery, and one experiment per
+// figure of the paper's evaluation.
+//
+// The root package holds only this documentation and the benchmark
+// harness (bench_test.go), which regenerates every table and figure.
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory) and is exercised through the cmd/ tools and the
+// runnable examples/.
+package carbonshift

@@ -1,0 +1,105 @@
+// Carbon-aware decisions over the API: this example runs the
+// carbon-information service in-process, then acts as its client — the
+// way a real scheduler would consume Electricity Maps or WattTime. It
+// polls the current intensity of candidate regions, fetches a
+// day-ahead forecast, and picks when and where to launch a batch job.
+//
+// Run with:
+//
+//	go run ./examples/carbonclient
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"carbonshift/internal/carbonapi"
+	"carbonshift/internal/regions"
+	"carbonshift/internal/simgrid"
+)
+
+func main() {
+	// Serve a few regions in-process on a loopback port.
+	regs := []regions.Region{
+		regions.MustByCode("DE"),
+		regions.MustByCode("SE"),
+		regions.MustByCode("US-CA"),
+	}
+	set, err := simgrid.Generate(regs, simgrid.Config{Seed: 9, Hours: 60 * 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	now := set.Start().Add(30 * 24 * time.Hour) // mid-dataset "today"
+	srv := carbonapi.NewServer(set, carbonapi.WithClock(func() time.Time { return now }))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil && err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+
+	client, err := carbonapi.NewClient("http://"+ln.Addr().String(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// 1. Where is it cleanest right now?
+	codes, err := client.Regions(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("current carbon intensity:")
+	best, bestCI := "", 0.0
+	for _, code := range codes {
+		p, err := client.Latest(ctx, code)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s %6.1f %s\n", code, p.CarbonIntensity, carbonapi.Unit)
+		if best == "" || p.CarbonIntensity < bestCI {
+			best, bestCI = code, p.CarbonIntensity
+		}
+	}
+	fmt.Printf("-> spatial choice: %s\n\n", best)
+
+	// 2. When should a 4-hour job run in Germany today?
+	fc, err := client.Forecast(ctx, "DE", 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bestStart, bestSum := 0, 0.0
+	for s := 0; s+4 <= len(fc); s++ {
+		var sum float64
+		for i := s; i < s+4; i++ {
+			sum += fc[i].CarbonIntensity
+		}
+		if s == 0 || sum < bestSum {
+			bestStart, bestSum = s, sum
+		}
+	}
+	fmt.Printf("DE day-ahead forecast: cheapest 4h window starts %s (predicted %.0f g total)\n",
+		fc[bestStart].Timestamp.Format("15:04"), bestSum)
+
+	// 3. Sanity-check the forecast against recent history.
+	hist, err := client.History(ctx, "DE", 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var histMean float64
+	for _, p := range hist {
+		histMean += p.CarbonIntensity
+	}
+	histMean /= float64(len(hist))
+	fmt.Printf("DE trailing-24h mean: %.0f %s — deferring into the forecast valley saves %.0f%%\n",
+		histMean, carbonapi.Unit, 100*(1-bestSum/4/histMean))
+}

@@ -1,0 +1,75 @@
+// Carbon-aware load balancing: interactive requests cannot be delayed,
+// but they can be routed. This example routes requests from three
+// origin regions to the greenest datacenter reachable within a latency
+// SLO, showing the carbon/latency trade-off of the paper's Figure 6(a)
+// at the granularity of a single service.
+//
+// Run with:
+//
+//	go run ./examples/loadbalancer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carbonshift/internal/latency"
+	"carbonshift/internal/regions"
+	"carbonshift/internal/simgrid"
+)
+
+func main() {
+	// Use the full hyperscale footprint as candidate datacenters.
+	regs := regions.All()
+	set, err := simgrid.Generate(regs, simgrid.Config{Seed: 11, Hours: 30 * 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	matrix := latency.NewMatrix(regs)
+	candidates := regions.Hyperscale()
+
+	origins := []string{"US-VA", "DE", "IN-WE"}
+	slos := []float64{10, 25, 50, 100, 250}
+
+	fmt.Println("best reachable datacenter by mean carbon intensity (g/kWh)")
+	fmt.Printf("%-8s", "origin")
+	for _, slo := range slos {
+		fmt.Printf(" %14s", fmt.Sprintf("<=%.0fms", slo))
+	}
+	fmt.Println()
+
+	for _, origin := range origins {
+		fmt.Printf("%-8s", origin)
+		local := set.MustGet(origin).Mean()
+		for _, slo := range slos {
+			reachable, err := matrix.Within(origin, slo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Route to the greenest reachable hyperscale region.
+			best, bestCI := origin, local
+			for _, code := range reachable {
+				if !contains(candidates, code) {
+					continue
+				}
+				if ci := set.MustGet(code).Mean(); ci < bestCI {
+					best, bestCI = code, ci
+				}
+			}
+			fmt.Printf(" %8s %5.0f", best, bestCI)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nwider SLOs reach greener regions; past the point where the")
+	fmt.Println("globally greenest datacenter is reachable, extra latency buys nothing.")
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

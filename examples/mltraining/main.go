@@ -1,0 +1,79 @@
+// ML training with checkpoints: a 96-hour training job that can be
+// suspended and resumed. The example sweeps the deferral slack and
+// shows the schedule the interruptible policy actually picks — the
+// suspend/resume pattern a checkpointing trainer would follow — and
+// how the savings saturate with slack (the paper's sub-linear slack
+// result).
+//
+// Run with:
+//
+//	go run ./examples/mltraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carbonshift/internal/regions"
+	"carbonshift/internal/simgrid"
+	"carbonshift/internal/temporal"
+	"carbonshift/internal/workload"
+)
+
+func main() {
+	// Train in California: strong solar cycle, so there is real carbon
+	// to harvest by pausing at night.
+	tr, err := simgrid.GenerateRegion(regions.MustByCode("US-CA"),
+		simgrid.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	job := workload.Job{
+		Class:         workload.Batch,
+		LengthHours:   96,
+		Arrival:       24 * 40, // mid-February submission
+		Interruptible: true,
+	}
+	length := job.WholeHours()
+
+	fmt.Printf("96h training job in US-CA, arriving hour %d\n\n", job.Arrival)
+	fmt.Printf("%-8s %12s %12s %12s %9s\n", "slack", "run-now g", "deferred g", "interrupt g", "saving%")
+	for _, slack := range []int{0, workload.Slack24H, workload.Slack7D, workload.Slack30D, workload.Slack1Y} {
+		res, err := temporal.Evaluate(tr.CI, job.Arrival, length, slack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12.0f %12.0f %12.0f %8.1f%%\n",
+			fmt.Sprintf("%dh", slack), res.Baseline, res.Deferred, res.Interrupted,
+			100*res.TotalSaving()/res.Baseline)
+	}
+
+	// Show the actual suspend/resume plan for the 7-day-slack case:
+	// contiguous runs of chosen hours are training segments, gaps are
+	// checkpointed pauses.
+	hours, err := temporal.Schedule(tr.CI, job.Arrival, length, workload.Slack7D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nschedule with 7d slack (%d segments):\n", countSegments(hours))
+	for _, seg := range segments(hours) {
+		fmt.Printf("  train hours %5d..%5d (%3d h)\n", seg[0], seg[1], seg[1]-seg[0]+1)
+	}
+}
+
+// segments compresses sorted hour indices into [start, end] runs.
+func segments(hours []int) [][2]int {
+	var out [][2]int
+	for i := 0; i < len(hours); {
+		j := i
+		for j+1 < len(hours) && hours[j+1] == hours[j]+1 {
+			j++
+		}
+		out = append(out, [2]int{hours[i], hours[j]})
+		i = j + 1
+	}
+	return out
+}
+
+func countSegments(hours []int) int { return len(segments(hours)) }

@@ -1,0 +1,62 @@
+// Quickstart: simulate a few grid regions, then ask the two questions
+// the library answers — how much carbon does temporal flexibility save
+// a batch job, and how much does spatial flexibility save on top?
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carbonshift/internal/regions"
+	"carbonshift/internal/simgrid"
+	"carbonshift/internal/spatial"
+	"carbonshift/internal/temporal"
+)
+
+func main() {
+	// Simulate three months of hourly carbon intensity for a handful
+	// of regions. Everything is deterministic under the seed.
+	regs := []regions.Region{
+		regions.MustByCode("DE"),    // mixed fossil/renewables
+		regions.MustByCode("SE"),    // hydro+nuclear, near-zero carbon
+		regions.MustByCode("US-CA"), // solar-heavy, strong diurnal cycle
+	}
+	set, err := simgrid.Generate(regs, simgrid.Config{Seed: 42, Hours: 90 * 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, code := range set.Regions() {
+		fmt.Printf("%-6s mean %6.1f g/kWh\n", code, set.MustGet(code).Mean())
+	}
+
+	// A 12-hour batch job (1 kW) arrives in Germany at hour 1000 with
+	// 24 hours of slack.
+	de := set.MustGet("DE")
+	const arrival, length, slack = 1000, 12, 24
+	res, err := temporal.Evaluate(de.CI, arrival, length, slack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch job in DE: run-now %.0f g, deferred %.0f g (start hour %d), interruptible %.0f g\n",
+		res.Baseline, res.Deferred, res.Start, res.Interrupted)
+	fmt.Printf("temporal flexibility saves %.0f g (%.0f%%)\n",
+		res.TotalSaving(), 100*res.TotalSaving()/res.Baseline)
+
+	// Spatial flexibility: migrate the same job to the greenest region.
+	oneCost, dest, err := spatial.OneMigrationCost(set, set.Regions(), arrival, length)
+	if err != nil {
+		log.Fatal(err)
+	}
+	infCost, err := spatial.InfMigrationCost(set, set.Regions(), arrival, length)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmigrate once to %s: %.0f g (saves %.0f g vs run-now in DE)\n",
+		dest, oneCost, res.Baseline-oneCost)
+	fmt.Printf("hop every hour:     %.0f g (only %.0f g better than migrating once)\n",
+		infCost, oneCost-infCost)
+}

@@ -1,0 +1,95 @@
+package carbonapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Client is a typed client for the carbon-information API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the API at baseURL. A nil httpClient
+// uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("carbonapi: invalid base URL %q", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: u.String(), hc: httpClient}, nil
+}
+
+// Regions lists the available region codes.
+func (c *Client) Regions(ctx context.Context) ([]string, error) {
+	var out RegionsResponse
+	if err := c.get(ctx, "/v1/regions", &out); err != nil {
+		return nil, err
+	}
+	return out.Regions, nil
+}
+
+// Latest returns the region's current intensity sample.
+func (c *Client) Latest(ctx context.Context, region string) (Point, error) {
+	var out LatestResponse
+	path := fmt.Sprintf("/v1/carbon-intensity/%s/latest", url.PathEscape(region))
+	if err := c.get(ctx, path, &out); err != nil {
+		return Point{}, err
+	}
+	return out.Point, nil
+}
+
+// History returns up to `hours` trailing samples (oldest first).
+func (c *Client) History(ctx context.Context, region string, hours int) ([]Point, error) {
+	var out SeriesResponse
+	path := fmt.Sprintf("/v1/carbon-intensity/%s/history?hours=%d", url.PathEscape(region), hours)
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out.Points, nil
+}
+
+// Forecast returns `hours` of model forecast starting now.
+func (c *Client) Forecast(ctx context.Context, region string, hours int) ([]Point, error) {
+	var out SeriesResponse
+	path := fmt.Sprintf("/v1/carbon-intensity/%s/forecast?hours=%d", url.PathEscape(region), hours)
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out.Points, nil
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("carbonapi: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("carbonapi: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("carbonapi: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr ErrorResponse
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("carbonapi: %s: %s", resp.Status, apiErr.Error)
+		}
+		return fmt.Errorf("carbonapi: unexpected status %s", resp.Status)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("carbonapi: decoding response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package carbonapi implements a carbon-information service — the
+// Electricity Maps / WattTime-style web API the paper identifies
+// (§2.1) as the infrastructure that makes carbon-aware scheduling
+// possible — plus a typed client for it.
+//
+// The server exposes the simulated dataset over HTTP:
+//
+//	GET /v1/regions                                   region codes
+//	GET /v1/carbon-intensity/{region}/latest          current intensity
+//	GET /v1/carbon-intensity/{region}/history?hours=N trailing window
+//	GET /v1/carbon-intensity/{region}/forecast?hours=N model forecast
+//
+// "Now" is injectable, so the server can replay the dataset at any
+// speed; the forecast endpoint only ever sees history up to now — the
+// API cannot leak the simulator's future.
+package carbonapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"carbonshift/internal/forecast"
+	"carbonshift/internal/trace"
+)
+
+// Unit is the fixed unit of every intensity value served.
+const Unit = "gCO2eq/kWh"
+
+// maxWindowHours bounds history and forecast requests.
+const maxWindowHours = 7 * 24 * 60
+
+// Point is one timestamped intensity sample.
+type Point struct {
+	Timestamp       time.Time `json:"timestamp"`
+	CarbonIntensity float64   `json:"carbon_intensity"`
+}
+
+// LatestResponse is the /latest payload.
+type LatestResponse struct {
+	Region string `json:"region"`
+	Unit   string `json:"unit"`
+	Point  Point  `json:"point"`
+}
+
+// SeriesResponse is the /history and /forecast payload.
+type SeriesResponse struct {
+	Region   string  `json:"region"`
+	Unit     string  `json:"unit"`
+	Forecast bool    `json:"forecast"`
+	Points   []Point `json:"points"`
+}
+
+// RegionsResponse is the /regions payload.
+type RegionsResponse struct {
+	Regions []string `json:"regions"`
+}
+
+// ErrorResponse is the JSON error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server serves a trace set as a carbon-information API.
+type Server struct {
+	set        *trace.Set
+	now        func() time.Time
+	forecaster forecast.Forecaster
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithClock injects the time source (for replay and tests). The
+// returned time is clamped into the dataset's span.
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
+}
+
+// WithForecaster sets the model behind /forecast. Default: the blended
+// seasonal model.
+func WithForecaster(f forecast.Forecaster) Option {
+	return func(s *Server) { s.forecaster = f }
+}
+
+// NewServer builds a server over the set.
+func NewServer(set *trace.Set, opts ...Option) *Server {
+	s := &Server{
+		set:        set,
+		now:        time.Now,
+		forecaster: forecast.Blended{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// nowHour maps the clock to a trace hour, clamped into [1, len-1] so
+// there is always at least one hour of history.
+func (s *Server) nowHour() int {
+	elapsed := s.now().UTC().Sub(s.set.Start())
+	h := int(elapsed / time.Hour)
+	if h < 1 {
+		h = 1
+	}
+	if max := s.set.Len() - 1; h > max {
+		h = max
+	}
+	return h
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/regions", s.handleRegions)
+	mux.HandleFunc("GET /v1/carbon-intensity/{region}/latest", s.handleLatest)
+	mux.HandleFunc("GET /v1/carbon-intensity/{region}/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/carbon-intensity/{region}/forecast", s.handleForecast)
+	return mux
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, RegionsResponse{Regions: s.set.Regions()})
+}
+
+func (s *Server) region(w http.ResponseWriter, r *http.Request) (*trace.Trace, bool) {
+	code := r.PathValue("region")
+	tr, ok := s.set.Get(code)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown region %q", code)})
+		return nil, false
+	}
+	return tr, true
+}
+
+func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.region(w, r)
+	if !ok {
+		return
+	}
+	h := s.nowHour()
+	writeJSON(w, http.StatusOK, LatestResponse{
+		Region: tr.Region,
+		Unit:   Unit,
+		Point:  Point{Timestamp: tr.TimeAt(h), CarbonIntensity: tr.At(h)},
+	})
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.region(w, r)
+	if !ok {
+		return
+	}
+	hours, ok := hoursParam(w, r, 24)
+	if !ok {
+		return
+	}
+	now := s.nowHour()
+	lo := now - hours
+	if lo < 0 {
+		lo = 0
+	}
+	points := make([]Point, 0, now-lo)
+	for h := lo; h < now; h++ {
+		points = append(points, Point{Timestamp: tr.TimeAt(h), CarbonIntensity: tr.At(h)})
+	}
+	writeJSON(w, http.StatusOK, SeriesResponse{Region: tr.Region, Unit: Unit, Points: points})
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.region(w, r)
+	if !ok {
+		return
+	}
+	hours, ok := hoursParam(w, r, 24)
+	if !ok {
+		return
+	}
+	now := s.nowHour()
+	pred, err := s.forecaster.Forecast(tr.CI[:now], hours)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{
+			Error: fmt.Sprintf("forecast unavailable: %v", err),
+		})
+		return
+	}
+	points := make([]Point, len(pred))
+	for i, v := range pred {
+		points[i] = Point{Timestamp: tr.TimeAt(now).Add(time.Duration(i) * time.Hour), CarbonIntensity: v}
+	}
+	writeJSON(w, http.StatusOK, SeriesResponse{Region: tr.Region, Unit: Unit, Forecast: true, Points: points})
+}
+
+func hoursParam(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	raw := r.URL.Query().Get("hours")
+	if raw == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 || n > maxWindowHours {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("hours must be an integer in [1, %d]", maxWindowHours),
+		})
+		return 0, false
+	}
+	return n, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures past the header are unrecoverable mid-stream;
+	// the connection-level error is all the client can see anyway.
+	_ = json.NewEncoder(w).Encode(v)
+}

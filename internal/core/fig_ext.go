@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"carbonshift/internal/forecast"
+	"carbonshift/internal/scenario"
+	"carbonshift/internal/sched"
+	"carbonshift/internal/workload"
+)
+
+// ExtForecast extends the paper's §6.2 beyond synthetic uniform noise:
+// it backtests real forecasting models on the dataset (persistence vs
+// a CarbonCast-class blended seasonal model), then measures the
+// emissions increase when the temporal scheduler runs on *model*
+// forecasts instead of the truth. The paper argues a ~14% MAPE
+// forecast costs only ~3% extra emissions; this experiment produces
+// that relationship from first principles.
+func (l *Lab) ExtForecast() (*Table, error) {
+	t := &Table{
+		ID:      "ext-forecast",
+		Title:   "Forecast models: day-ahead MAPE and scheduling cost (extension of §6.2)",
+		Columns: []string{"mape_pct", "sched_increase_pct"},
+	}
+	const (
+		length  = 24
+		refresh = 24
+	)
+	warmup := 21 * 24
+	if warmup >= l.Set.Len()/2 {
+		warmup = l.Set.Len() / 2
+	}
+	slack := l.slackFor(figSlackPractical)
+	codes := l.hyperscaleCodes()
+	if len(codes) > 12 {
+		codes = codes[:12]
+	}
+	models := []forecast.Forecaster{
+		forecast.Persistence{},
+		forecast.SeasonalNaive{Period: 24, Cycles: 7},
+		forecast.Blended{},
+	}
+	for _, model := range models {
+		var mapeAcc, incAcc float64
+		mapeN, incN := 0, 0
+		for _, code := range codes {
+			tr := l.Set.MustGet(code)
+			m, err := forecast.Backtest(model, tr.CI, warmup, 24, 24*13)
+			if err != nil {
+				return nil, err
+			}
+			mapeAcc += m
+			mapeN++
+			// Schedule interruptible jobs on the forecast view, pay on
+			// the truth.
+			view, err := forecast.ForecastTrace(model, tr, warmup, refresh)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range l.strideArrivals(length + slack) {
+				if a < warmup {
+					continue
+				}
+				impact, err := scenario.TemporalForecast(tr.CI, view.CI, a, length, slack)
+				if err != nil {
+					return nil, err
+				}
+				incAcc += impact.IncreaseFrac()
+				incN++
+			}
+		}
+		if incN == 0 {
+			return nil, fmt.Errorf("core: ext-forecast has no post-warmup arrivals")
+		}
+		t.AddRow(model.Name(), mapeAcc/float64(mapeN), 100*incAcc/float64(incN))
+	}
+	t.Notes = append(t.Notes,
+		"paper context: CarbonCast reaches 4.8-13.9% MAPE; the paper estimates ~3% emission increase at that accuracy")
+	return t, nil
+}
+
+// ExtContention quantifies the §5.2.5 caveat the limits analysis
+// idealizes away: with finite cluster capacity, carbon-aware
+// scheduling cannot pack all work into the clean valleys. The
+// experiment sweeps fleet load on the simulated scheduler and reports
+// the carbon-gate policy's advantage over carbon-agnostic FIFO at each
+// load level, alongside the unconstrained analytical bound.
+func (l *Lab) ExtContention() (*Table, error) {
+	region := l.exampleRegion()
+	horizon := l.Set.Len()
+	if horizon > 60*24 {
+		horizon = 60 * 24
+	}
+	arrivalSpan := horizon - 10*24
+	if arrivalSpan < 1 {
+		return nil, fmt.Errorf("core: trace too short for ext-contention")
+	}
+
+	// The unconstrained bound: mean combined temporal saving for 24h
+	// jobs with 48h slack, as a fraction of the baseline.
+	cell, err := l.TemporalCell(region, 24, 48)
+	if err != nil {
+		return nil, err
+	}
+	bound := (cell.DeferSaving + cell.InterruptSaving) / cell.Baseline
+
+	t := &Table{
+		ID:      "ext-contention",
+		Title:   fmt.Sprintf("Scheduler savings vs fleet load in %s (extension of §5.2.5)", region),
+		Columns: []string{"utilization_pct", "missed", "saving_vs_fifo_pct"},
+	}
+	jobs, err := sched.GenerateJobs(sched.WorkloadSpec{
+		Jobs:              400,
+		ArrivalSpan:       arrivalSpan,
+		Dist:              workload.DistEqual,
+		SlackHours:        48,
+		InterruptibleFrac: 1,
+		MigratableFrac:    0,
+		Origins:           []string{region},
+		Seed:              l.opts.Sim.Seed + 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Cap lengths at 24h so everything can finish inside the horizon.
+	for i := range jobs {
+		if jobs[i].Length > 24 {
+			jobs[i].Length = 24
+		}
+	}
+	for _, slots := range []int{400, 60, 30, 20, 15, 10} {
+		cl := []sched.Cluster{{Region: region, Slots: slots}}
+		fifo, err := sched.Run(l.Set, cl, jobs, sched.FIFO{}, horizon)
+		if err != nil {
+			return nil, err
+		}
+		gate, err := sched.Run(l.Set, cl, jobs, sched.CarbonGate{Percentile: 35, Window: 168}, horizon)
+		if err != nil {
+			return nil, err
+		}
+		saving := 0.0
+		if fifo.TotalEmissions > 0 {
+			saving = 100 * (fifo.TotalEmissions - gate.TotalEmissions) / fifo.TotalEmissions
+		}
+		t.AddRow(fmt.Sprintf("slots_%d", slots),
+			100*gate.Utilization(), float64(gate.Missed), saving)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("unconstrained analytical bound for this workload shape: %.1f%% saving; the scheduler approaches it only when capacity is ample", 100*bound))
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"carbonshift/internal/spatial"
+)
+
+// ExtOverhead prices the migrations the paper's ∞-migration policy
+// performs for free: with a per-move carbon cost derived from job
+// state size, the hopping policy's already-thin advantage over a
+// single migration (< 10 g in Figure 6(b)) shrinks further and turns
+// negative — closing the loop on the paper's conclusion that
+// sophisticated migration policies have no practical headroom.
+func (l *Lab) ExtOverhead() (*Table, error) {
+	const length = 168 // a week-long job maximizes hopping opportunity
+	arrivals := l.strideArrivals(length)
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("core: trace too short for ext-overhead")
+	}
+	t := &Table{
+		ID:      "ext-overhead",
+		Title:   "∞-migration advantage vs per-move overhead, by geographic grouping (g·CO₂eq per job)",
+		Columns: []string{"free_advantage_g", "with_8gb_job_g", "with_64gb_job_g", "break_even_g_per_move", "moves_per_job"},
+	}
+	costs := []spatial.MigrationCost{
+		{StateGB: 8, WhPerGB: 4, IntensityG: 400},
+		{StateGB: 64, WhPerGB: 4, IntensityG: 400},
+	}
+	for _, g := range l.Groupings() {
+		if g.Name == "Global" {
+			continue // match Figure 6(b): hopping within groupings
+		}
+		var free, small, large, breakEven, moves float64
+		n := 0
+		for _, a := range arrivals {
+			one, _, err := spatial.OneMigrationCost(l.Set, g.Codes, a, length)
+			if err != nil {
+				return nil, err
+			}
+			zero, mv, err := spatial.InfMigrationWithOverhead(l.Set, g.Codes, a, length, spatial.MigrationCost{})
+			if err != nil {
+				return nil, err
+			}
+			withSmall, _, err := spatial.InfMigrationWithOverhead(l.Set, g.Codes, a, length, costs[0])
+			if err != nil {
+				return nil, err
+			}
+			withLarge, _, err := spatial.InfMigrationWithOverhead(l.Set, g.Codes, a, length, costs[1])
+			if err != nil {
+				return nil, err
+			}
+			free += one - zero
+			small += one - withSmall
+			large += one - withLarge
+			if mv > 0 {
+				breakEven += (one - zero) / float64(mv)
+			}
+			moves += float64(mv)
+			n++
+		}
+		f := float64(n)
+		t.AddRow(g.Name, free/f, small/f, large/f, breakEven/f, moves/f)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("per-move costs: 8 GB job = %.1f g, 64 GB job = %.1f g; paper bounds the free advantage below 10 g, so any realistic state size erases it",
+			costs[0].PerMove(), costs[1].PerMove()))
+	return t, nil
+}

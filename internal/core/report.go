@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteReport runs every experiment and emits a self-contained
+// markdown report: dataset calibration, then each experiment's table
+// and notes. It is the machine-regenerated companion to
+// EXPERIMENTS.md.
+func (l *Lab) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "# carbonshift experiment report\n\n")
+	fmt.Fprintf(w, "Generated %s over %d regions, %d hourly samples starting %s.\n\n",
+		time.Now().UTC().Format(time.RFC3339), l.Set.Size(), l.Set.Len(),
+		l.Set.Start().Format("2006-01-02"))
+	fmt.Fprintf(w, "Global mean carbon intensity: **%.2f g·CO₂eq/kWh** (paper: 368.39).\n\n",
+		l.GlobalMean)
+
+	for _, e := range Experiments() {
+		start := time.Now()
+		tbl, err := e.Run(l)
+		if err != nil {
+			return fmt.Errorf("core: report: %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "## %s — %s\n\n", e.Figure, e.Title)
+		fmt.Fprintf(w, "Experiment `%s`, %v.\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if err := writeMarkdownTable(w, tbl); err != nil {
+			return err
+		}
+		for _, n := range tbl.Notes {
+			fmt.Fprintf(w, "> %s\n", n)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// writeMarkdownTable renders a Table as a GitHub-flavored markdown
+// table, truncating very long tables to head and tail rows.
+func writeMarkdownTable(w io.Writer, t *Table) error {
+	const maxRows = 30
+	header := append([]string{"label"}, t.Columns...)
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+
+	rows := t.Rows
+	truncated := 0
+	if len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		head := rows[:maxRows/2]
+		tail := rows[len(rows)-maxRows/2:]
+		rows = append(append([]Row{}, head...), tail...)
+	}
+	for i, r := range rows {
+		if truncated > 0 && i == maxRows/2 {
+			fmt.Fprintf(w, "| … %d rows omitted … |%s\n", truncated,
+				strings.Repeat(" |", len(t.Columns)))
+		}
+		cells := make([]string, 0, len(r.Values)+1)
+		cells = append(cells, r.Label)
+		for _, v := range r.Values {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+	fmt.Fprintln(w)
+	return nil
+}

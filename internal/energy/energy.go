@@ -1,0 +1,134 @@
+// Package energy converts compute activity into electrical energy and
+// Scope 2 carbon emissions, the accounting frame of the paper's §2.1.
+//
+// The analyses in this repository mostly use the paper's own
+// normalization (a job draws 1 kW, so g·CO₂eq == summed hourly
+// intensity), but real deployments meter servers, not jobs. This
+// package provides the standard linear server power model, facility
+// overhead via PUE, and an accountant that integrates hourly facility
+// power against a carbon-intensity trace to produce GHG-protocol-style
+// Scope 2 totals.
+package energy
+
+import (
+	"fmt"
+
+	"carbonshift/internal/trace"
+)
+
+// ServerModel is the linear utilization→power model used across the
+// datacenter-energy literature: power rises linearly from idle to peak
+// with utilization.
+type ServerModel struct {
+	// IdleWatts is the draw at 0% utilization.
+	IdleWatts float64
+	// PeakWatts is the draw at 100% utilization. Must be >= IdleWatts.
+	PeakWatts float64
+}
+
+// DefaultServer is a contemporary 2-socket server profile.
+var DefaultServer = ServerModel{IdleWatts: 120, PeakWatts: 450}
+
+// Validate reports configuration errors.
+func (s ServerModel) Validate() error {
+	if s.IdleWatts < 0 || s.PeakWatts < s.IdleWatts {
+		return fmt.Errorf("energy: bad server model idle=%v peak=%v", s.IdleWatts, s.PeakWatts)
+	}
+	return nil
+}
+
+// Power returns the draw in watts at the given utilization in [0, 1].
+// Utilization outside the range is clamped.
+func (s ServerModel) Power(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return s.IdleWatts + (s.PeakWatts-s.IdleWatts)*util
+}
+
+// Datacenter models one facility: a homogeneous server fleet plus
+// cooling/distribution overhead expressed as PUE.
+type Datacenter struct {
+	// Servers is the fleet size.
+	Servers int
+	// Server is the per-server power model.
+	Server ServerModel
+	// PUE is the power usage effectiveness (facility power / IT
+	// power), >= 1. Hyperscale facilities run ~1.1; enterprise ~1.6.
+	PUE float64
+}
+
+// Validate reports configuration errors.
+func (d Datacenter) Validate() error {
+	if d.Servers < 0 {
+		return fmt.Errorf("energy: negative server count %d", d.Servers)
+	}
+	if d.PUE < 1 {
+		return fmt.Errorf("energy: PUE %v below 1", d.PUE)
+	}
+	return d.Server.Validate()
+}
+
+// FacilityKW returns total facility draw in kilowatts when the fleet
+// runs at the given mean utilization.
+func (d Datacenter) FacilityKW(util float64) float64 {
+	return float64(d.Servers) * d.Server.Power(util) * d.PUE / 1000
+}
+
+// Report is an integrated Scope 2 accounting result.
+type Report struct {
+	// EnergyKWh is the total electrical energy consumed.
+	EnergyKWh float64
+	// EmissionsKg is the total Scope 2 emissions in kg·CO₂eq.
+	EmissionsKg float64
+	// Hours is the accounting window length.
+	Hours int
+}
+
+// EffectiveCI returns the energy-weighted mean carbon intensity of the
+// consumed electricity in g·CO₂eq/kWh.
+func (r Report) EffectiveCI() float64 {
+	if r.EnergyKWh == 0 {
+		return 0
+	}
+	return 1000 * r.EmissionsKg / r.EnergyKWh
+}
+
+// Scope2 integrates an hourly facility-power series (kW, one entry per
+// hour starting at trace hour `from`) against the trace's carbon
+// intensity.
+func Scope2(tr *trace.Trace, hourlyKW []float64, from int) (Report, error) {
+	if from < 0 || from+len(hourlyKW) > tr.Len() {
+		return Report{}, fmt.Errorf("energy: window [%d, %d) outside trace of %d hours",
+			from, from+len(hourlyKW), tr.Len())
+	}
+	var rep Report
+	for i, kw := range hourlyKW {
+		if kw < 0 {
+			return Report{}, fmt.Errorf("energy: negative power %v at hour %d", kw, from+i)
+		}
+		rep.EnergyKWh += kw // 1-hour steps: kW·h == kWh
+		rep.EmissionsKg += kw * tr.At(from+i) / 1000
+	}
+	rep.Hours = len(hourlyKW)
+	return rep, nil
+}
+
+// Scope2Utilization is Scope2 for a datacenter with an hourly
+// utilization series.
+func Scope2Utilization(tr *trace.Trace, dc Datacenter, hourlyUtil []float64, from int) (Report, error) {
+	if err := dc.Validate(); err != nil {
+		return Report{}, err
+	}
+	kw := make([]float64, len(hourlyUtil))
+	for i, u := range hourlyUtil {
+		if u < 0 || u > 1 {
+			return Report{}, fmt.Errorf("energy: utilization %v at hour %d outside [0, 1]", u, from+i)
+		}
+		kw[i] = dc.FacilityKW(u)
+	}
+	return Scope2(tr, kw, from)
+}

@@ -1,0 +1,174 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"carbonshift/internal/trace"
+)
+
+var t0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestServerPowerLinear(t *testing.T) {
+	s := ServerModel{IdleWatts: 100, PeakWatts: 300}
+	cases := []struct{ util, want float64 }{
+		{0, 100}, {0.5, 200}, {1, 300},
+		{-1, 100}, {2, 300}, // clamped
+	}
+	for _, c := range cases {
+		if got := s.Power(c.util); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Power(%v) = %v, want %v", c.util, got, c.want)
+		}
+	}
+}
+
+func TestServerValidate(t *testing.T) {
+	if err := DefaultServer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ServerModel{IdleWatts: -1, PeakWatts: 10}).Validate(); err == nil {
+		t.Fatal("negative idle accepted")
+	}
+	if err := (ServerModel{IdleWatts: 100, PeakWatts: 50}).Validate(); err == nil {
+		t.Fatal("peak < idle accepted")
+	}
+}
+
+func TestDatacenterValidate(t *testing.T) {
+	good := Datacenter{Servers: 100, Server: DefaultServer, PUE: 1.2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Datacenter{Servers: -1, Server: DefaultServer, PUE: 1.2}).Validate(); err == nil {
+		t.Fatal("negative servers accepted")
+	}
+	if err := (Datacenter{Servers: 1, Server: DefaultServer, PUE: 0.9}).Validate(); err == nil {
+		t.Fatal("PUE < 1 accepted")
+	}
+}
+
+func TestFacilityKW(t *testing.T) {
+	dc := Datacenter{
+		Servers: 1000,
+		Server:  ServerModel{IdleWatts: 100, PeakWatts: 300},
+		PUE:     1.5,
+	}
+	// 1000 servers * 200 W * 1.5 = 300 kW at 50% utilization.
+	if got := dc.FacilityKW(0.5); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("FacilityKW = %v, want 300", got)
+	}
+}
+
+func TestScope2(t *testing.T) {
+	tr := trace.New("X", t0, []float64{100, 200, 400, 100})
+	// 2 kW for hours 1 and 2.
+	rep, err := Scope2(tr, []float64{2, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EnergyKWh != 4 {
+		t.Fatalf("energy = %v", rep.EnergyKWh)
+	}
+	// 2 kWh * 200 g + 2 kWh * 400 g = 1200 g = 1.2 kg.
+	if math.Abs(rep.EmissionsKg-1.2) > 1e-9 {
+		t.Fatalf("emissions = %v", rep.EmissionsKg)
+	}
+	if math.Abs(rep.EffectiveCI()-300) > 1e-9 {
+		t.Fatalf("effective CI = %v", rep.EffectiveCI())
+	}
+	if rep.Hours != 2 {
+		t.Fatalf("hours = %v", rep.Hours)
+	}
+}
+
+func TestScope2Errors(t *testing.T) {
+	tr := trace.New("X", t0, []float64{100, 200})
+	if _, err := Scope2(tr, []float64{1, 1, 1}, 0); err == nil {
+		t.Fatal("overrun accepted")
+	}
+	if _, err := Scope2(tr, []float64{1}, -1); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if _, err := Scope2(tr, []float64{-1}, 0); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestEffectiveCIEmpty(t *testing.T) {
+	if (Report{}).EffectiveCI() != 0 {
+		t.Fatal("empty report effective CI nonzero")
+	}
+}
+
+func TestScope2Utilization(t *testing.T) {
+	tr := trace.New("X", t0, []float64{500, 500})
+	dc := Datacenter{
+		Servers: 10,
+		Server:  ServerModel{IdleWatts: 100, PeakWatts: 300},
+		PUE:     1.0,
+	}
+	rep, err := Scope2Utilization(tr, dc, []float64{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hour 0: 10*100 W = 1 kW. Hour 1: 10*300 W = 3 kW. Total 4 kWh.
+	if math.Abs(rep.EnergyKWh-4) > 1e-9 {
+		t.Fatalf("energy = %v", rep.EnergyKWh)
+	}
+	if _, err := Scope2Utilization(tr, dc, []float64{1.5}, 0); err == nil {
+		t.Fatal("utilization > 1 accepted")
+	}
+	bad := dc
+	bad.PUE = 0.5
+	if _, err := Scope2Utilization(tr, bad, []float64{0.5}, 0); err == nil {
+		t.Fatal("invalid datacenter accepted")
+	}
+}
+
+// TestIdleEnergyDominatesAtLowUtilization encodes the system-design
+// point of §5.3.1: underutilized datacenters burn most of their energy
+// idling, which is why spatial shifting that strands capacity has a
+// hidden cost.
+func TestIdleEnergyDominatesAtLowUtilization(t *testing.T) {
+	dc := Datacenter{Servers: 1, Server: DefaultServer, PUE: 1.1}
+	idleShare := dc.FacilityKW(0) / dc.FacilityKW(0.1)
+	if idleShare < 0.75 {
+		t.Fatalf("idle share at 10%% utilization = %.2f, expected idle-dominated", idleShare)
+	}
+}
+
+func TestQuickScope2Additive(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ci := make([]float64, len(raw))
+		kw := make([]float64, len(raw))
+		for i, v := range raw {
+			ci[i] = float64(v) + 1
+			kw[i] = float64(v%16) / 4
+		}
+		tr := trace.New("X", t0, ci)
+		whole, err := Scope2(tr, kw, 0)
+		if err != nil {
+			return false
+		}
+		// Splitting the window must not change the totals.
+		mid := len(kw) / 2
+		a, err := Scope2(tr, kw[:mid], 0)
+		if err != nil {
+			return false
+		}
+		b, err := Scope2(tr, kw[mid:], mid)
+		if err != nil {
+			return false
+		}
+		return math.Abs(whole.EnergyKWh-(a.EnergyKWh+b.EnergyKWh)) < 1e-9 &&
+			math.Abs(whole.EmissionsKg-(a.EmissionsKg+b.EmissionsKg)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package forecast_test
+
+import (
+	"fmt"
+	"math"
+
+	"carbonshift/internal/forecast"
+)
+
+// A noise-free daily cycle is forecast perfectly by the seasonal
+// model.
+func ExampleSeasonalNaive_Forecast() {
+	history := make([]float64, 24*14)
+	for i := range history {
+		history[i] = 300 + 100*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	model := forecast.SeasonalNaive{Period: 24, Cycles: 7}
+	pred, err := model.Forecast(history, 3)
+	if err != nil {
+		panic(err)
+	}
+	truth := 300 + 100*math.Sin(2*math.Pi*float64(len(history))/24)
+	fmt.Printf("next hour: predicted %.1f, true %.1f\n", pred[0], truth)
+	// Output:
+	// next hour: predicted 300.0, true 300.0
+}
+
+// MAPE quantifies forecast quality the way the paper's CarbonCast
+// reference does.
+func ExampleMAPE() {
+	actual := []float64{100, 200, 400}
+	predicted := []float64{110, 190, 400}
+	m, err := forecast.MAPE(actual, predicted)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("MAPE %.1f%%\n", m)
+	// Output:
+	// MAPE 5.0%
+}

@@ -1,0 +1,397 @@
+package regions
+
+// catalog is the full 123-region dataset. Mix columns are, in order:
+// coal, gas, oil, biomass, geothermal, solar, hydro, wind, nuclear.
+// Each entry's comment notes the nominal (mix-weighted) carbon
+// intensity in g·CO₂eq/kWh implied by the emission factors.
+//
+// Shares are calibrated so the population statistics match the paper's
+// dataset-level aggregates; see the package comment.
+
+func m(coal, gas, oil, bio, geo, sol, hyd, wnd, nuc float64) Mix {
+	return Mix{Coal: coal, Gas: gas, Oil: oil, Biomass: bio, Geothermal: geo,
+		Solar: sol, Hydro: hyd, Wind: wnd, Nuclear: nuc}
+}
+
+var catalog = []Region{
+	// ---------------------------------------------------------------- Europe
+	{Code: "SE", Name: "Sweden", Continent: Europe, Lat: 59.33, Lon: 18.07,
+		Providers: AWS | Azure, Mix: m(0, .004, 0, .008, 0, .01, .40, .178, .40),
+		DeltaRenew: .02, DemandSwing: 1.0}, // ~15 (global minimum)
+	{Code: "NO", Name: "Norway", Continent: Europe, Lat: 59.91, Lon: 10.75,
+		Providers: Azure, Mix: m(0, .02, 0, 0, 0, 0, .88, .10, 0),
+		DeltaRenew: .01, DemandSwing: 1.1}, // ~20
+	{Code: "FI", Name: "Finland", Continent: Europe, Lat: 60.17, Lon: 24.94,
+		Providers: GCP, Mix: m(.01, .05, 0, .12, 0, .01, .17, .12, .52),
+		DeltaRenew: .05, DemandSwing: 1.1}, // ~67
+	{Code: "DK", Name: "Denmark", Continent: Europe, Lat: 55.68, Lon: 12.57,
+		Mix:        m(.11, .07, .01, .17, 0, .04, 0, .60, 0),
+		DeltaRenew: .10, DemandSwing: 1.0}, // ~191
+	{Code: "IS", Name: "Iceland", Continent: Europe, Lat: 64.15, Lon: -21.94,
+		Mix:        m(0, 0, 0, 0, .30, 0, .70, 0, 0),
+		DeltaRenew: 0, DemandSwing: .5}, // ~19
+	{Code: "IE", Name: "Ireland", Continent: Europe, Lat: 53.35, Lon: -6.26,
+		Providers: AWS | Azure, Mix: m(.02, .47, .01, .02, 0, .01, .02, .45, 0),
+		DeltaRenew: .07, DemandSwing: 1.0}, // ~258
+	{Code: "GB", Name: "Great Britain", Continent: Europe, Lat: 51.51, Lon: -0.13,
+		Providers: GCP | AWS | Azure | IBM, Mix: m(.03, .40, 0, .06, 0, .04, .02, .25, .20),
+		DeltaRenew: .06, DemandSwing: 1.0}, // ~237
+	{Code: "FR", Name: "France", Continent: Europe, Lat: 48.86, Lon: 2.35,
+		Providers: GCP | AWS | Azure, Mix: m(.01, .06, .01, .02, 0, .03, .11, .07, .69),
+		DeltaRenew: .02, DemandSwing: 1.2}, // ~57
+	{Code: "BE", Name: "Belgium", Continent: Europe, Lat: 50.85, Lon: 4.35,
+		Providers: GCP, Mix: m(.02, .25, 0, .03, 0, .06, .01, .12, .51),
+		DeltaRenew: .03, DemandSwing: 1.0}, // ~151
+	{Code: "NL", Name: "Netherlands", Continent: Europe, Lat: 52.37, Lon: 4.90,
+		Providers: GCP | Azure, Mix: m(.12, .58, .01, .05, 0, .09, 0, .12, .03),
+		DeltaRenew: .10, DemandSwing: 1.0}, // ~413
+	{Code: "DE", Name: "Germany", Continent: Europe, Lat: 50.11, Lon: 8.68,
+		Providers: GCP | AWS | Azure | IBM | Alibaba, Mix: m(.28, .15, .01, .08, 0, .10, .03, .23, .12),
+		DeltaRenew: .08, DemandSwing: 1.0}, // ~371
+	{Code: "PL", Name: "Poland", Continent: Europe, Lat: 52.23, Lon: 21.01,
+		Providers: GCP | Azure, Mix: m(.70, .10, .01, .06, 0, .02, .02, .09, 0),
+		DeltaRenew: -.04, DemandSwing: .9}, // ~742
+	{Code: "CZ", Name: "Czechia", Continent: Europe, Lat: 50.08, Lon: 14.44,
+		Mix:        m(.40, .10, 0, .06, 0, .03, .03, .01, .37),
+		DeltaRenew: .01, DemandSwing: .9}, // ~449
+	{Code: "AT", Name: "Austria", Continent: Europe, Lat: 48.21, Lon: 16.37,
+		Mix:        m(.02, .12, 0, .06, 0, .02, .68, .10, 0),
+		DeltaRenew: .02, DemandSwing: 1.1}, // ~98
+	{Code: "CH", Name: "Switzerland", Continent: Europe, Lat: 47.37, Lon: 8.54,
+		Providers: GCP | Azure, Mix: m(0, .01, 0, .02, 0, .04, .57, .01, .35),
+		DeltaRenew: .01, DemandSwing: 1.0}, // ~19
+	{Code: "IT", Name: "Italy", Continent: Europe, Lat: 45.46, Lon: 9.19,
+		Providers: GCP | AWS | Azure, Mix: m(.06, .48, .03, .06, .02, .09, .19, .07, 0),
+		DeltaRenew: .04, DemandSwing: 1.1}, // ~326
+	{Code: "ES", Name: "Spain", Continent: Europe, Lat: 40.42, Lon: -3.70,
+		Providers: GCP | AWS, Mix: m(.03, .25, .02, .03, 0, .12, .11, .23, .21),
+		DeltaRenew: .09, DemandSwing: 1.1}, // ~176
+	{Code: "PT", Name: "Portugal", Continent: Europe, Lat: 38.72, Lon: -9.14,
+		Mix:        m(.02, .30, .01, .06, 0, .06, .25, .30, 0),
+		DeltaRenew: .08, DemandSwing: 1.0}, // ~190
+	{Code: "GR", Name: "Greece", Continent: Europe, Lat: 37.98, Lon: 23.73,
+		Mix:        m(.10, .40, .08, .01, 0, .14, .08, .19, 0),
+		DeltaRenew: .09, DemandSwing: 1.1}, // ~352
+	{Code: "RO", Name: "Romania", Continent: Europe, Lat: 44.43, Lon: 26.10,
+		Mix:        m(.17, .17, .01, .01, 0, .04, .28, .12, .20),
+		DeltaRenew: .02, DemandSwing: 1.0}, // ~260
+	{Code: "BG", Name: "Bulgaria", Continent: Europe, Lat: 42.70, Lon: 23.32,
+		Mix:        m(.38, .05, 0, .02, 0, .05, .09, .04, .37),
+		DeltaRenew: .01, DemandSwing: .9}, // ~398
+	{Code: "HU", Name: "Hungary", Continent: Europe, Lat: 47.50, Lon: 19.04,
+		Mix:        m(.09, .26, 0, .06, 0, .07, .01, .02, .49),
+		DeltaRenew: .03, DemandSwing: 1.0}, // ~229
+	{Code: "SK", Name: "Slovakia", Continent: Europe, Lat: 48.15, Lon: 17.11,
+		Mix:        m(.06, .12, .01, .04, 0, .02, .15, 0, .60),
+		DeltaRenew: .01, DemandSwing: .9}, // ~137
+	{Code: "SI", Name: "Slovenia", Continent: Europe, Lat: 46.06, Lon: 14.51,
+		Mix:        m(.24, .03, 0, .02, 0, .03, .30, 0, .38),
+		DeltaRenew: .01, DemandSwing: .9}, // ~256
+	{Code: "HR", Name: "Croatia", Continent: Europe, Lat: 45.81, Lon: 15.98,
+		Mix:        m(.08, .20, .01, .05, .01, .01, .45, .19, 0),
+		DeltaRenew: .02, DemandSwing: 1.0}, // ~198
+	{Code: "RS", Name: "Serbia", Continent: Europe, Lat: 44.79, Lon: 20.45,
+		Mix:        m(.65, .05, .01, .01, 0, 0, .25, .03, 0),
+		DeltaRenew: -.05, DemandSwing: .9}, // ~660
+	{Code: "UA", Name: "Ukraine", Continent: Europe, Lat: 50.45, Lon: 30.52,
+		Mix:        m(.25, .08, .01, .02, 0, .04, .05, .02, .53),
+		DeltaRenew: -.05, DemandSwing: .9}, // ~295
+	{Code: "EE", Name: "Estonia", Continent: Europe, Lat: 59.44, Lon: 24.75,
+		Mix:        m(.05, .05, .55, .15, 0, .05, .02, .13, 0),
+		DeltaRenew: .04, DemandSwing: .9}, // ~502 (oil shale)
+	{Code: "LV", Name: "Latvia", Continent: Europe, Lat: 56.95, Lon: 24.11,
+		Mix:        m(0, .35, 0, .15, 0, .01, .40, .09, 0),
+		DeltaRenew: .02, DemandSwing: 1.0}, // ~206
+	{Code: "LT", Name: "Lithuania", Continent: Europe, Lat: 54.69, Lon: 25.28,
+		Mix:        m(0, .25, .02, .15, 0, .05, .10, .43, 0),
+		DeltaRenew: .08, DemandSwing: 1.0}, // ~174
+	{Code: "LU", Name: "Luxembourg", Continent: Europe, Lat: 49.61, Lon: 6.13,
+		Mix:        m(0, .25, 0, .15, 0, .08, .25, .27, 0),
+		DeltaRenew: .06, DemandSwing: 1.0}, // ~160
+	{Code: "MT", Name: "Malta", Continent: Europe, Lat: 35.90, Lon: 14.51,
+		Mix:        m(0, .92, .05, .01, 0, .02, 0, 0, 0),
+		DeltaRenew: .01, DemandSwing: .6}, // ~476
+	{Code: "CY", Name: "Cyprus", Continent: Europe, Lat: 35.19, Lon: 33.38,
+		Mix:        m(0, .05, .80, .02, 0, .10, 0, .03, 0),
+		DeltaRenew: .03, DemandSwing: .7}, // ~603
+	{Code: "MD", Name: "Moldova", Continent: Europe, Lat: 47.01, Lon: 28.86,
+		Mix:        m(0, .80, .01, .04, 0, .02, .05, .08, 0),
+		DeltaRenew: .01, DemandSwing: .8}, // ~398
+	{Code: "BA", Name: "Bosnia and Herzegovina", Continent: Europe, Lat: 43.86, Lon: 18.41,
+		Mix:        m(.60, .01, 0, .01, 0, .01, .34, .03, 0),
+		DeltaRenew: -.04, DemandSwing: .9}, // ~587
+	{Code: "MK", Name: "North Macedonia", Continent: Europe, Lat: 41.99, Lon: 21.43,
+		Mix:        m(.45, .15, .02, .02, 0, .03, .28, .05, 0),
+		DeltaRenew: -.04, DemandSwing: .9}, // ~526
+	{Code: "ME", Name: "Montenegro", Continent: Europe, Lat: 42.43, Lon: 19.26,
+		Mix:        m(.40, 0, 0, .01, 0, .01, .50, .08, 0),
+		DeltaRenew: .01, DemandSwing: .9}, // ~393
+	{Code: "AL", Name: "Albania", Continent: Europe, Lat: 41.33, Lon: 19.82,
+		Mix:        m(0, .01, .02, 0, 0, .02, .95, 0, 0),
+		DeltaRenew: .01, DemandSwing: .8}, // ~30
+
+	// --------------------------------------------------------- North America
+	{Code: "CA-ON", Name: "Ontario", Continent: NorthAmerica, Lat: 43.65, Lon: -79.38,
+		Providers: GCP | Azure, Mix: m(0, .07, 0, .01, 0, .02, .24, .08, .58),
+		DeltaRenew: .01, DemandSwing: 1.2}, // ~43
+	{Code: "CA-QC", Name: "Quebec", Continent: NorthAmerica, Lat: 45.50, Lon: -73.57,
+		Providers: GCP | AWS | Azure, Mix: m(0, .01, 0, .01, 0, 0, .93, .05, 0),
+		DeltaRenew: .01, DemandSwing: 1.3}, // ~18
+	{Code: "CA-BC", Name: "British Columbia", Continent: NorthAmerica, Lat: 49.28, Lon: -123.12,
+		Mix:        m(0, .03, 0, .02, 0, 0, .90, .05, 0),
+		DeltaRenew: 0, DemandSwing: 1.1}, // ~29
+	{Code: "CA-AB", Name: "Alberta", Continent: NorthAmerica, Lat: 51.05, Lon: -114.07,
+		Mix:        m(.08, .74, .01, .02, 0, .02, .03, .10, 0),
+		DeltaRenew: -.07, DemandSwing: 1.0}, // ~442
+	{Code: "CA-MB", Name: "Manitoba", Continent: NorthAmerica, Lat: 49.90, Lon: -97.14,
+		Mix:        m(0, .01, 0, 0, 0, 0, .96, .03, 0),
+		DeltaRenew: 0, DemandSwing: 1.2}, // ~16
+	{Code: "CA-SK", Name: "Saskatchewan", Continent: NorthAmerica, Lat: 50.45, Lon: -104.62,
+		Mix:        m(.40, .40, .01, .01, 0, .01, .13, .04, 0),
+		DeltaRenew: -.05, DemandSwing: 1.0}, // ~586
+	{Code: "CA-NS", Name: "Nova Scotia", Continent: NorthAmerica, Lat: 44.65, Lon: -63.58,
+		Mix:        m(.50, .20, .03, .03, 0, 0, .10, .14, 0),
+		DeltaRenew: .02, DemandSwing: 1.1}, // ~606
+	{Code: "CA-NB", Name: "New Brunswick", Continent: NorthAmerica, Lat: 45.96, Lon: -66.64,
+		Mix:        m(.15, .10, .02, .04, 0, 0, .25, .08, .36),
+		DeltaRenew: .01, DemandSwing: 1.1}, // ~221
+	{Code: "US-CA", Name: "California", Continent: NorthAmerica, Lat: 37.77, Lon: -122.42,
+		Providers: GCP | AWS | Azure | Alibaba, Mix: m(0, .42, 0, .03, .05, .17, .12, .09, .12),
+		DeltaRenew: .08, DemandSwing: 1.3}, // ~216
+	{Code: "US-WA", Name: "Washington", Continent: NorthAmerica, Lat: 47.61, Lon: -122.33,
+		Providers: Azure, Mix: m(.03, .12, 0, .01, 0, 0, .68, .08, .08),
+		DeltaRenew: .01, DemandSwing: 1.6}, // ~97
+	{Code: "US-OR", Name: "Oregon", Continent: NorthAmerica, Lat: 45.52, Lon: -122.68,
+		Providers: GCP | AWS, Mix: m(.02, .22, 0, .01, 0, .01, .58, .13, .03),
+		DeltaRenew: .02, DemandSwing: 1.4}, // ~134
+	{Code: "US-NV", Name: "Nevada", Continent: NorthAmerica, Lat: 36.17, Lon: -115.14,
+		Providers: GCP, Mix: m(.04, .62, 0, 0, .05, .21, .05, .03, 0),
+		DeltaRenew: .04, DemandSwing: 1.2}, // ~342
+	{Code: "US-AZ", Name: "Arizona", Continent: NorthAmerica, Lat: 33.45, Lon: -112.07,
+		Providers: Azure, Mix: m(.12, .43, 0, 0, 0, .10, .06, .01, .28),
+		DeltaRenew: .04, DemandSwing: 1.3}, // ~325
+	{Code: "US-UT", Name: "Utah", Continent: NorthAmerica, Lat: 40.76, Lon: -111.89,
+		Providers: GCP, Mix: m(.58, .28, .01, 0, .01, .08, .02, .02, 0),
+		DeltaRenew: .02, DemandSwing: 1.1}, // ~700
+	{Code: "US-CO", Name: "Colorado", Continent: NorthAmerica, Lat: 39.74, Lon: -104.99,
+		Mix:        m(.38, .26, 0, 0, 0, .05, .03, .28, 0),
+		DeltaRenew: .06, DemandSwing: 1.1}, // ~492
+	{Code: "US-TX", Name: "Texas", Continent: NorthAmerica, Lat: 32.78, Lon: -96.80,
+		Providers: GCP | Azure | IBM, Mix: m(.17, .45, 0, 0, 0, .06, .01, .23, .08),
+		DeltaRenew: .09, DemandSwing: 1.3}, // ~381
+	{Code: "US-OK", Name: "Oklahoma", Continent: NorthAmerica, Lat: 35.47, Lon: -97.52,
+		Mix:        m(.06, .42, 0, 0, 0, .01, .04, .47, 0),
+		DeltaRenew: .07, DemandSwing: 1.1}, // ~262
+	{Code: "US-KS", Name: "Kansas", Continent: NorthAmerica, Lat: 39.05, Lon: -95.68,
+		Mix:        m(.30, .20, 0, 0, 0, .01, 0, .47, .02),
+		DeltaRenew: .07, DemandSwing: 1.1}, // ~387
+	{Code: "US-MO", Name: "Missouri", Continent: NorthAmerica, Lat: 38.63, Lon: -90.20,
+		Mix:        m(.62, .18, 0, 0, 0, .01, .03, .08, .08),
+		DeltaRenew: -.05, DemandSwing: 1.1}, // ~682
+	{Code: "US-IL", Name: "Illinois", Continent: NorthAmerica, Lat: 41.88, Lon: -87.63,
+		Providers: Azure, Mix: m(.25, .15, 0, 0, 0, .02, 0, .12, .46),
+		DeltaRenew: .03, DemandSwing: 1.1}, // ~316
+	{Code: "US-OH", Name: "Ohio", Continent: NorthAmerica, Lat: 39.96, Lon: -82.99,
+		Providers: GCP | AWS, Mix: m(.40, .42, .01, .01, 0, .01, 0, .02, .13),
+		DeltaRenew: .01, DemandSwing: 1.1}, // ~594
+	{Code: "US-PA", Name: "Pennsylvania", Continent: NorthAmerica, Lat: 40.44, Lon: -79.99,
+		Mix:        m(.15, .50, 0, .01, 0, 0, .02, .02, .30),
+		DeltaRenew: .01, DemandSwing: 1.1}, // ~386
+	{Code: "US-VA", Name: "Virginia", Continent: NorthAmerica, Lat: 38.95, Lon: -77.45,
+		Providers: GCP | AWS | Azure | IBM, Mix: m(.04, .58, .01, .04, 0, .05, .01, 0, .27),
+		DeltaRenew: .03, DemandSwing: 1.2}, // ~333
+	{Code: "US-NC", Name: "North Carolina", Continent: NorthAmerica, Lat: 35.23, Lon: -80.84,
+		Mix:        m(.15, .35, 0, .02, 0, .08, .05, 0, .35),
+		DeltaRenew: .03, DemandSwing: 1.2}, // ~320
+	{Code: "US-GA", Name: "Georgia", Continent: NorthAmerica, Lat: 33.75, Lon: -84.39,
+		Mix:        m(.18, .45, 0, .03, 0, .05, .03, 0, .26),
+		DeltaRenew: .03, DemandSwing: 1.2}, // ~397
+	{Code: "US-FL", Name: "Florida", Continent: NorthAmerica, Lat: 25.76, Lon: -80.19,
+		Mix:        m(.07, .73, .01, .02, 0, .05, 0, 0, .12),
+		DeltaRenew: .03, DemandSwing: 1.2}, // ~428
+	{Code: "US-TN", Name: "Tennessee", Continent: NorthAmerica, Lat: 36.16, Lon: -86.78,
+		Mix:        m(.20, .20, 0, .01, 0, .01, .12, 0, .46),
+		DeltaRenew: .01, DemandSwing: 1.1}, // ~294
+	{Code: "US-IA", Name: "Iowa", Continent: NorthAmerica, Lat: 41.59, Lon: -93.62,
+		Providers: GCP | Azure, Mix: m(.22, .10, 0, 0, 0, .01, .02, .60, .05),
+		DeltaRenew: .08, DemandSwing: 1.0}, // ~264
+	{Code: "US-MN", Name: "Minnesota", Continent: NorthAmerica, Lat: 44.98, Lon: -93.27,
+		Mix:        m(.25, .20, 0, .02, 0, .03, .02, .24, .24),
+		DeltaRenew: .04, DemandSwing: 1.1}, // ~344
+	{Code: "US-WI", Name: "Wisconsin", Continent: NorthAmerica, Lat: 43.04, Lon: -87.91,
+		Mix:        m(.35, .35, 0, .02, 0, .02, .03, .03, .20),
+		DeltaRenew: -.05, DemandSwing: 1.1}, // ~509
+	{Code: "US-NY", Name: "New York", Continent: NorthAmerica, Lat: 40.71, Lon: -74.01,
+		Mix:        m(0, .46, .01, .01, 0, .02, .22, .04, .24),
+		DeltaRenew: .02, DemandSwing: 1.2}, // ~233
+	{Code: "US-MA", Name: "Massachusetts", Continent: NorthAmerica, Lat: 42.36, Lon: -71.06,
+		Mix:        m(0, .72, .02, .04, 0, .15, .02, .03, .02),
+		DeltaRenew: .04, DemandSwing: 1.2}, // ~370
+	{Code: "US-NE", Name: "Nebraska", Continent: NorthAmerica, Lat: 41.26, Lon: -95.93,
+		Mix:        m(.50, .05, 0, 0, 0, .01, .03, .27, .14),
+		DeltaRenew: .05, DemandSwing: 1.0}, // ~507
+	{Code: "US-NM", Name: "New Mexico", Continent: NorthAmerica, Lat: 35.08, Lon: -106.65,
+		Mix:        m(.30, .30, 0, 0, 0, .08, .01, .31, 0),
+		DeltaRenew: .08, DemandSwing: 1.1}, // ~435
+	{Code: "US-ID", Name: "Idaho", Continent: NorthAmerica, Lat: 43.62, Lon: -116.21,
+		Mix:        m(.01, .20, 0, .02, .02, .04, .55, .16, 0),
+		DeltaRenew: .02, DemandSwing: 1.2}, // ~118
+	{Code: "US-MT", Name: "Montana", Continent: NorthAmerica, Lat: 46.59, Lon: -112.04,
+		Mix:        m(.45, .05, .01, 0, 0, .01, .38, .10, 0),
+		DeltaRenew: -.04, DemandSwing: 1.0}, // ~468
+	{Code: "US-WY", Name: "Wyoming", Continent: NorthAmerica, Lat: 41.14, Lon: -104.82,
+		Mix:        m(.70, .08, .01, 0, 0, 0, .04, .17, 0),
+		DeltaRenew: -.03, DemandSwing: 1.0}, // ~719
+	{Code: "MX", Name: "Mexico", Continent: NorthAmerica, Lat: 19.43, Lon: -99.13,
+		Mix:        m(.10, .58, .10, .01, .01, .05, .09, .06, 0),
+		DeltaRenew: -.06, DemandSwing: .9}, // ~449
+
+	// ------------------------------------------------------------------ Asia
+	{Code: "IN-WE", Name: "India West (Mumbai)", Continent: Asia, Lat: 19.08, Lon: 72.88,
+		Providers: GCP | AWS | Azure | Alibaba, Mix: m(.74, .05, .01, .02, 0, .04, .02, .10, .02),
+		DeltaRenew: -.04, DemandSwing: .6}, // ~748 (highest)
+	{Code: "IN-SO", Name: "India South (Chennai)", Continent: Asia, Lat: 13.08, Lon: 80.27,
+		Providers: Azure, Mix: m(.60, .05, .01, .02, 0, .08, .06, .15, .03),
+		DeltaRenew: .06, DemandSwing: .7}, // ~616
+	{Code: "IN-NO", Name: "India North (Delhi)", Continent: Asia, Lat: 28.61, Lon: 77.21,
+		Providers: GCP, Mix: m(.70, .04, .01, .02, 0, .06, .08, .06, .03),
+		DeltaRenew: -.04, DemandSwing: .7}, // ~706
+	{Code: "IN-EA", Name: "India East (Kolkata)", Continent: Asia, Lat: 22.57, Lon: 88.36,
+		Mix:        m(.72, .08, .01, .02, 0, .02, .12, .02, .01),
+		DeltaRenew: -.02, DemandSwing: .6}, // ~743
+	{Code: "JP-TK", Name: "Japan Tokyo", Continent: Asia, Lat: 35.68, Lon: 139.69,
+		Providers: GCP | AWS | Azure | IBM | Alibaba, Mix: m(.30, .40, .04, .03, 0, .10, .05, .01, .07),
+		DeltaRenew: .03, DemandSwing: 1.0}, // ~517
+	{Code: "JP-KN", Name: "Japan Kansai (Osaka)", Continent: Asia, Lat: 34.69, Lon: 135.50,
+		Providers: GCP | AWS | Azure, Mix: m(.25, .35, .03, .03, 0, .08, .08, .01, .17),
+		DeltaRenew: .02, DemandSwing: 1.0}, // ~439
+	{Code: "KR", Name: "South Korea", Continent: Asia, Lat: 37.57, Lon: 126.98,
+		Providers: GCP | AWS | Azure, Mix: m(.35, .28, .02, .02, 0, .04, .01, .01, .27),
+		DeltaRenew: -.05, DemandSwing: 1.0}, // ~491
+	{Code: "CN-NO", Name: "China North (Beijing)", Continent: Asia, Lat: 39.90, Lon: 116.41,
+		Providers: AWS | Alibaba, Mix: m(.64, .08, 0, .01, 0, .05, .12, .07, .03),
+		DeltaRenew: .05, DemandSwing: .9}, // ~658
+	{Code: "CN-EA", Name: "China East (Shanghai)", Continent: Asia, Lat: 31.23, Lon: 121.47,
+		Providers: Alibaba, Mix: m(.58, .10, 0, .01, 0, .06, .15, .05, .05),
+		DeltaRenew: .03, DemandSwing: .9}, // ~611
+	{Code: "CN-SO", Name: "China South (Shenzhen)", Continent: Asia, Lat: 22.54, Lon: 114.06,
+		Providers: Alibaba, Mix: m(.50, .12, 0, .01, 0, .04, .25, .03, .05),
+		DeltaRenew: .02, DemandSwing: .9}, // ~544
+	{Code: "HK", Name: "Hong Kong", Continent: Asia, Lat: 22.32, Lon: 114.17,
+		Providers: GCP | AWS | Azure | Alibaba, Mix: m(.50, .45, .01, .01, 0, .01, 0, 0, .02),
+		DeltaRenew: -.005, DemandSwing: .15}, // ~704 (aperiodic)
+	{Code: "TW", Name: "Taiwan", Continent: Asia, Lat: 25.03, Lon: 121.57,
+		Providers: GCP, Mix: m(.45, .38, .02, .01, 0, .04, .03, .02, .05),
+		DeltaRenew: -.05, DemandSwing: .9}, // ~631
+	{Code: "SG", Name: "Singapore", Continent: Asia, Lat: 1.35, Lon: 103.82,
+		Providers: GCP | AWS | Azure | Alibaba, Mix: m(0, .96, .01, .01, 0, .02, 0, 0, 0),
+		DeltaRenew: -.01, DemandSwing: .3}, // ~466
+	{Code: "ID", Name: "Indonesia", Continent: Asia, Lat: -6.21, Lon: 106.85,
+		Providers: GCP | AWS | Alibaba, Mix: m(.62, .17, .03, .05, .05, 0, .08, 0, 0),
+		DeltaRenew: -.02, DemandSwing: .1}, // ~712 (aperiodic)
+	{Code: "MY", Name: "Malaysia", Continent: Asia, Lat: 3.14, Lon: 101.69,
+		Providers: AWS | Alibaba, Mix: m(.44, .38, .01, .01, 0, .01, .15, 0, 0),
+		DeltaRenew: -.04, DemandSwing: .4}, // ~614
+	{Code: "TH", Name: "Thailand", Continent: Asia, Lat: 13.76, Lon: 100.50,
+		Mix:        m(.20, .60, 0, .06, 0, .04, .08, .02, 0),
+		DeltaRenew: .01, DemandSwing: .6}, // ~493
+	{Code: "VN", Name: "Vietnam", Continent: Asia, Lat: 21.03, Lon: 105.85,
+		Mix:        m(.50, .10, 0, .01, 0, .11, .27, .01, 0),
+		DeltaRenew: .09, DemandSwing: .7}, // ~536
+	{Code: "PH", Name: "Philippines", Continent: Asia, Lat: 14.60, Lon: 120.98,
+		Mix:        m(.58, .20, .02, .01, .08, .02, .08, .01, 0),
+		DeltaRenew: -.04, DemandSwing: .6}, // ~673
+	{Code: "BD", Name: "Bangladesh", Continent: Asia, Lat: 23.81, Lon: 90.41,
+		Mix:        m(.08, .80, .07, 0, 0, .01, .04, 0, 0),
+		DeltaRenew: -.05, DemandSwing: .5}, // ~508
+	{Code: "PK", Name: "Pakistan", Continent: Asia, Lat: 24.86, Lon: 67.00,
+		Mix:        m(.20, .30, .05, .01, 0, .02, .28, .02, .12),
+		DeltaRenew: -.04, DemandSwing: .7}, // ~377
+	{Code: "AE", Name: "United Arab Emirates", Continent: Asia, Lat: 25.20, Lon: 55.27,
+		Providers: GCP | AWS | Azure | Alibaba, Mix: m(0, .88, .01, 0, 0, .05, 0, 0, .06),
+		DeltaRenew: .02, DemandSwing: .5}, // ~427
+	{Code: "SA", Name: "Saudi Arabia", Continent: Asia, Lat: 24.71, Lon: 46.68,
+		Providers: GCP, Mix: m(0, .62, .37, 0, 0, .01, 0, 0, 0),
+		DeltaRenew: -.04, DemandSwing: .6}, // ~559
+	{Code: "QA", Name: "Qatar", Continent: Asia, Lat: 25.29, Lon: 51.53,
+		Providers: GCP | Azure, Mix: m(0, .995, 0, 0, 0, .005, 0, 0, 0),
+		DeltaRenew: -.003, DemandSwing: .4}, // ~473
+	{Code: "BH", Name: "Bahrain", Continent: Asia, Lat: 26.23, Lon: 50.59,
+		Providers: AWS, Mix: m(0, .99, .005, 0, 0, .005, 0, 0, 0),
+		DeltaRenew: -.003, DemandSwing: .4}, // ~474
+	{Code: "IL", Name: "Israel", Continent: Asia, Lat: 32.09, Lon: 34.78,
+		Providers: GCP | AWS, Mix: m(.22, .68, .01, 0, 0, .09, 0, 0, 0),
+		DeltaRenew: .03, DemandSwing: .8}, // ~544
+	{Code: "KZ", Name: "Kazakhstan", Continent: Asia, Lat: 51.17, Lon: 71.45,
+		Mix:        m(.68, .18, .01, 0, 0, .01, .10, .02, 0),
+		DeltaRenew: -.05, DemandSwing: .8}, // ~747
+	{Code: "TR", Name: "Turkey", Continent: Asia, Lat: 41.01, Lon: 28.98,
+		Mix:        m(.32, .25, .01, .02, .02, .05, .26, .07, 0),
+		DeltaRenew: .05, DemandSwing: .9}, // ~443
+
+	// --------------------------------------------------------------- Oceania
+	{Code: "AU-NSW", Name: "New South Wales", Continent: Oceania, Lat: -33.87, Lon: 151.21,
+		Providers: GCP | AWS | Azure | IBM, Mix: m(.62, .05, .01, .01, 0, .13, .04, .14, 0),
+		DeltaRenew: .07, DemandSwing: 1.0}, // ~634
+	{Code: "AU-VIC", Name: "Victoria", Continent: Oceania, Lat: -37.81, Lon: 144.96,
+		Providers: GCP | AWS | Azure, Mix: m(.68, .04, .01, 0, 0, .08, .06, .13, 0),
+		DeltaRenew: .06, DemandSwing: 1.0}, // ~683
+	{Code: "AU-QLD", Name: "Queensland", Continent: Oceania, Lat: -27.47, Lon: 153.03,
+		Mix:        m(.65, .09, .01, 0, 0, .15, .05, .05, 0),
+		DeltaRenew: .08, DemandSwing: 1.0}, // ~679
+	{Code: "AU-SA", Name: "South Australia", Continent: Oceania, Lat: -34.93, Lon: 138.60,
+		Mix:        m(.02, .32, .01, 0, 0, .20, 0, .45, 0),
+		DeltaRenew: .10, DemandSwing: 1.0}, // ~188
+	{Code: "AU-WA", Name: "Western Australia", Continent: Oceania, Lat: -31.95, Lon: 115.86,
+		Mix:        m(.30, .45, .02, 0, 0, .13, 0, .10, 0),
+		DeltaRenew: .04, DemandSwing: .9}, // ~521
+	{Code: "AU-TAS", Name: "Tasmania", Continent: Oceania, Lat: -42.88, Lon: 147.33,
+		Mix:        m(0, .02, 0, 0, 0, .01, .81, .16, 0),
+		DeltaRenew: .01, DemandSwing: 1.0}, // ~20
+	{Code: "NZ", Name: "New Zealand", Continent: Oceania, Lat: -41.29, Lon: 174.78,
+		Mix:        m(.04, .12, 0, .01, .18, .01, .56, .08, 0),
+		DeltaRenew: .02, DemandSwing: 1.0}, // ~112
+
+	// --------------------------------------------------------- South America
+	{Code: "BR-CS", Name: "Brazil Central-South", Continent: SouthAmerica, Lat: -23.55, Lon: -46.63,
+		Providers: GCP | AWS | Azure | IBM, Mix: m(.02, .08, .01, .05, 0, .03, .65, .12, .04),
+		DeltaRenew: .03, DemandSwing: .8}, // ~85
+	{Code: "BR-NE", Name: "Brazil North-East", Continent: SouthAmerica, Lat: -8.05, Lon: -34.88,
+		Mix:        m(.01, .10, .01, .05, 0, .08, .35, .40, 0),
+		DeltaRenew: .08, DemandSwing: .7}, // ~85
+	{Code: "CL", Name: "Chile", Continent: SouthAmerica, Lat: -33.45, Lon: -70.67,
+		Providers: GCP, Mix: m(.15, .18, .02, .02, .01, .14, .38, .10, 0),
+		DeltaRenew: .09, DemandSwing: .9}, // ~258
+	{Code: "AR", Name: "Argentina", Continent: SouthAmerica, Lat: -34.60, Lon: -58.38,
+		Mix:        m(.01, .58, .04, .02, 0, .02, .20, .08, .05),
+		DeltaRenew: -.07, DemandSwing: .9}, // ~322
+	{Code: "UY", Name: "Uruguay", Continent: SouthAmerica, Lat: -34.90, Lon: -56.16,
+		Mix:        m(0, .02, .02, .12, 0, .03, .45, .36, 0),
+		DeltaRenew: .06, DemandSwing: .8}, // ~60
+	{Code: "PE", Name: "Peru", Continent: SouthAmerica, Lat: -12.05, Lon: -77.04,
+		Mix:        m(.01, .35, .01, .01, 0, .02, .58, .02, 0),
+		DeltaRenew: .01, DemandSwing: .7}, // ~192
+	{Code: "CO", Name: "Colombia", Continent: SouthAmerica, Lat: 4.71, Lon: -74.07,
+		Mix:        m(.08, .15, .01, .01, 0, .01, .73, .01, 0),
+		DeltaRenew: .01, DemandSwing: .6}, // ~166
+	{Code: "PY", Name: "Paraguay", Continent: SouthAmerica, Lat: -25.26, Lon: -57.58,
+		Mix:        m(0, 0, .02, .005, 0, 0, .975, 0, 0),
+		DeltaRenew: 0, DemandSwing: .6}, // ~26
+
+	// ---------------------------------------------------------------- Africa
+	{Code: "ZA", Name: "South Africa", Continent: Africa, Lat: -26.20, Lon: 28.05,
+		Providers: AWS | Azure, Mix: m(.72, .04, .01, .01, 0, .04, .01, .12, .05),
+		DeltaRenew: -.05, DemandSwing: .9}, // ~722
+	{Code: "EG", Name: "Egypt", Continent: Africa, Lat: 30.04, Lon: 31.24,
+		Mix:        m(.02, .77, .08, 0, 0, .03, .07, .03, 0),
+		DeltaRenew: -.06, DemandSwing: .7}, // ~444
+	{Code: "NG", Name: "Nigeria", Continent: Africa, Lat: 6.52, Lon: 3.38,
+		Mix:        m(0, .78, .02, 0, 0, .01, .19, 0, 0),
+		DeltaRenew: -.05, DemandSwing: .4}, // ~387
+	{Code: "KE", Name: "Kenya", Continent: Africa, Lat: -1.29, Lon: 36.82,
+		Mix:        m(0, .08, .08, .02, .45, .02, .30, .05, 0),
+		DeltaRenew: .02, DemandSwing: .5}, // ~121
+	{Code: "MA", Name: "Morocco", Continent: Africa, Lat: 33.57, Lon: -7.59,
+		Mix:        m(.60, .12, .05, 0, 0, .06, .04, .13, 0),
+		DeltaRenew: -.04, DemandSwing: .8}, // ~672
+}

@@ -1,0 +1,228 @@
+// Package scenario implements the paper's §6 what-if analyses on top
+// of the temporal and spatial engines:
+//
+//   - Mixed workloads: only a fraction of the fleet is migratable;
+//     migratable jobs run in the instantaneously greenest region,
+//     the rest stay home (Figure 11a).
+//   - Forecast error: schedules are chosen on an error-injected trace
+//     but accounted on the true trace (Figure 11b).
+//   - Combined spatial+temporal shifting: migrate to a destination
+//     region, then defer within it (Figure 12).
+//
+// The greener-grid scenario of Figure 11(c–d) needs new traces rather
+// than new policies and therefore lives in simgrid (Config.
+// ExtraRenewables); the core experiment runner wires it up.
+package scenario
+
+import (
+	"fmt"
+
+	"carbonshift/internal/rng"
+	"carbonshift/internal/stats"
+	"carbonshift/internal/trace"
+)
+
+// UniformError returns a copy of ci with multiplicative uniform noise:
+// each sample becomes ci[h] · (1 + U(-frac, +frac)), clamped at zero.
+// This is the paper's §6.2 error model ("from a uniformly random
+// distribution").
+func UniformError(ci []float64, frac float64, src *rng.Source) ([]float64, error) {
+	if frac < 0 {
+		return nil, fmt.Errorf("scenario: negative error fraction %v", frac)
+	}
+	out := make([]float64, len(ci))
+	for i, v := range ci {
+		e := v * (1 + src.Uniform(-frac, frac))
+		if e < 0 {
+			e = 0
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// ForecastImpact is the outcome of scheduling on a forecast and paying
+// on the truth.
+type ForecastImpact struct {
+	// ScheduledCost is the true carbon cost of the schedule chosen on
+	// the forecast trace.
+	ScheduledCost float64
+	// OptimalCost is the cost of the schedule chosen with perfect
+	// knowledge.
+	OptimalCost float64
+}
+
+// IncreaseFrac returns the fractional emissions increase caused by the
+// forecast error (0 when the forecast was good enough).
+func (f ForecastImpact) IncreaseFrac() float64 {
+	if f.OptimalCost == 0 {
+		return 0
+	}
+	return (f.ScheduledCost - f.OptimalCost) / f.OptimalCost
+}
+
+// TemporalForecast evaluates an interruptible job scheduled on the
+// forecast series but accounted on the true series: the job picks the
+// `length` apparently-cheapest hours of its horizon in the forecast,
+// then pays the true intensity of those hours.
+func TemporalForecast(truth, forecast []float64, arrival, length, slack int) (ForecastImpact, error) {
+	if len(truth) != len(forecast) {
+		return ForecastImpact{}, fmt.Errorf("scenario: truth (%d) and forecast (%d) lengths differ", len(truth), len(forecast))
+	}
+	if length < 1 || slack < 0 || arrival < 0 || arrival+length+slack > len(truth) {
+		return ForecastImpact{}, fmt.Errorf("scenario: bad job window [%d, %d) in %d hours",
+			arrival, arrival+length+slack, len(truth))
+	}
+	horizonTruth := truth[arrival : arrival+length+slack]
+	horizonFcst := forecast[arrival : arrival+length+slack]
+	var scheduled float64
+	for _, idx := range stats.BottomKIndices(horizonFcst, length) {
+		scheduled += horizonTruth[idx]
+	}
+	return ForecastImpact{
+		ScheduledCost: scheduled,
+		OptimalCost:   stats.SumBottomK(horizonTruth, length),
+	}, nil
+}
+
+// SpatialForecast evaluates ∞-migration under forecast error: each
+// hour the job moves to the region that looks greenest in the forecast
+// and pays that region's true intensity.
+func SpatialForecast(truth, forecast *trace.Set, candidates []string, arrival, length int) (ForecastImpact, error) {
+	if len(candidates) == 0 {
+		return ForecastImpact{}, fmt.Errorf("scenario: no candidate regions")
+	}
+	if truth.Len() != forecast.Len() {
+		return ForecastImpact{}, fmt.Errorf("scenario: truth and forecast sets differ in length")
+	}
+	if length < 1 || arrival < 0 || arrival+length > truth.Len() {
+		return ForecastImpact{}, fmt.Errorf("scenario: bad job window [%d, %d)", arrival, arrival+length)
+	}
+	var scheduled, optimal float64
+	for h := arrival; h < arrival+length; h++ {
+		bestFcst, bestFcstV := "", 0.0
+		bestTrueV := 0.0
+		for i, code := range candidates {
+			ftr, ok := forecast.Get(code)
+			if !ok {
+				return ForecastImpact{}, fmt.Errorf("scenario: region %q not in forecast set", code)
+			}
+			ttr, ok := truth.Get(code)
+			if !ok {
+				return ForecastImpact{}, fmt.Errorf("scenario: region %q not in truth set", code)
+			}
+			if fv := ftr.At(h); i == 0 || fv < bestFcstV {
+				bestFcst, bestFcstV = code, fv
+			}
+			if tv := ttr.At(h); i == 0 || tv < bestTrueV {
+				bestTrueV = tv
+			}
+		}
+		scheduled += truth.MustGet(bestFcst).At(h)
+		optimal += bestTrueV
+	}
+	return ForecastImpact{ScheduledCost: scheduled, OptimalCost: optimal}, nil
+}
+
+// MixedResult summarizes a mixed migratable/non-migratable fleet.
+type MixedResult struct {
+	// MigratableFrac is the input fraction of migratable work.
+	MigratableFrac float64
+	// EmissionRate is the fleet-mean g·CO₂eq per job-hour.
+	EmissionRate float64
+	// BaselineRate is the all-local fleet-mean rate.
+	BaselineRate float64
+}
+
+// Reduction returns the absolute per-job-hour saving.
+func (m MixedResult) Reduction() float64 { return m.BaselineRate - m.EmissionRate }
+
+// MixedWorkload evaluates a fleet where `frac` of the work in every
+// region is migratable. Migratable work runs in the region with the
+// lowest intensity at its arrival hour (§6.1: migrated and executed at
+// arrival in the greenest region); the rest runs at home. The result
+// averages over all origin regions and the given arrival hours.
+func MixedWorkload(set *trace.Set, frac float64, arrivals []int) (MixedResult, error) {
+	if frac < 0 || frac > 1 {
+		return MixedResult{}, fmt.Errorf("scenario: migratable fraction %v outside [0, 1]", frac)
+	}
+	if len(arrivals) == 0 {
+		return MixedResult{}, fmt.Errorf("scenario: no arrival hours")
+	}
+	codes := set.Regions()
+	var aware, baseline float64
+	n := 0
+	for _, a := range arrivals {
+		if a < 0 || a >= set.Len() {
+			return MixedResult{}, fmt.Errorf("scenario: arrival %d outside trace", a)
+		}
+		_, minCI := set.MinAt(a)
+		for _, code := range codes {
+			local := set.MustGet(code).At(a)
+			baseline += local
+			aware += frac*minCI + (1-frac)*local
+			n++
+		}
+	}
+	return MixedResult{
+		MigratableFrac: frac,
+		EmissionRate:   aware / float64(n),
+		BaselineRate:   baseline / float64(n),
+	}, nil
+}
+
+// CombinedResult decomposes the saving of migrate-then-defer into its
+// spatial and temporal parts for one destination region (Figure 12).
+type CombinedResult struct {
+	Dest string
+	// SpatialSaving is the mean saving from running at the destination
+	// instead of at home, without any deferral. Negative when the
+	// destination is dirtier than the average origin.
+	SpatialSaving float64
+	// TemporalSaving is the additional mean saving from deferring and
+	// interrupting within the destination under the given slack.
+	TemporalSaving float64
+}
+
+// NetSaving is the total saving of the combined policy.
+func (c CombinedResult) NetSaving() float64 { return c.SpatialSaving + c.TemporalSaving }
+
+// Combined evaluates migrate-to-dest-then-defer for jobs of the given
+// length arriving from every origin at each arrival hour. Savings are
+// averaged per job and reported in g·CO₂eq.
+func Combined(set *trace.Set, dest string, origins []string, length, slack int, arrivals []int) (CombinedResult, error) {
+	dtr, ok := set.Get(dest)
+	if !ok {
+		return CombinedResult{}, fmt.Errorf("scenario: unknown destination %q", dest)
+	}
+	if len(origins) == 0 || len(arrivals) == 0 {
+		return CombinedResult{}, fmt.Errorf("scenario: empty origins or arrivals")
+	}
+	if length < 1 || slack < 0 {
+		return CombinedResult{}, fmt.Errorf("scenario: bad length %d or slack %d", length, slack)
+	}
+	var spatial, temporalSav float64
+	n := 0
+	for _, a := range arrivals {
+		if a+length+slack > set.Len() {
+			return CombinedResult{}, fmt.Errorf("scenario: arrival %d overruns trace", a)
+		}
+		destBase := dtr.Sum(a, a+length)
+		horizon := dtr.CI[a : a+length+slack]
+		destShifted := stats.SumBottomK(horizon, length)
+		for _, code := range origins {
+			otr, ok := set.Get(code)
+			if !ok {
+				return CombinedResult{}, fmt.Errorf("scenario: unknown origin %q", code)
+			}
+			spatial += otr.Sum(a, a+length) - destBase
+			temporalSav += destBase - destShifted
+			n++
+		}
+	}
+	return CombinedResult{
+		Dest:           dest,
+		SpatialSaving:  spatial / float64(n),
+		TemporalSaving: temporalSav / float64(n),
+	}, nil
+}

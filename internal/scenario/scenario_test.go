@@ -1,0 +1,322 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"carbonshift/internal/rng"
+	"carbonshift/internal/trace"
+)
+
+var t0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func mkSet(t *testing.T, series map[string][]float64) *trace.Set {
+	t.Helper()
+	var traces []*trace.Trace
+	for code, ci := range series {
+		traces = append(traces, trace.New(code, t0, ci))
+	}
+	s, err := trace.NewSet(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUniformErrorBounds(t *testing.T) {
+	src := rng.New(1)
+	ci := make([]float64, 1000)
+	for i := range ci {
+		ci[i] = 400
+	}
+	noisy, err := UniformError(ci, 0.5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range noisy {
+		if v < 200-1e-9 || v > 600+1e-9 {
+			t.Fatalf("sample %d = %v outside +/-50%% band", i, v)
+		}
+	}
+	// Zero error is the identity.
+	same, err := UniformError(ci, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range same {
+		if same[i] != ci[i] {
+			t.Fatal("zero error changed the trace")
+		}
+	}
+	if _, err := UniformError(ci, -0.1, src); err == nil {
+		t.Fatal("negative error accepted")
+	}
+}
+
+func TestUniformErrorClampsAtZero(t *testing.T) {
+	src := rng.New(2)
+	ci := []float64{0.0001}
+	for i := 0; i < 100; i++ {
+		noisy, err := UniformError(ci, 1.5, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if noisy[0] < 0 {
+			t.Fatalf("negative intensity %v", noisy[0])
+		}
+	}
+}
+
+func TestTemporalForecastPerfectForecast(t *testing.T) {
+	truth := []float64{9, 1, 8, 2, 7, 3}
+	impact, err := TemporalForecast(truth, truth, 0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.ScheduledCost != impact.OptimalCost {
+		t.Fatalf("perfect forecast has nonzero impact: %+v", impact)
+	}
+	if impact.OptimalCost != 3 { // hours with CI 1 and 2
+		t.Fatalf("optimal = %v, want 3", impact.OptimalCost)
+	}
+	if impact.IncreaseFrac() != 0 {
+		t.Fatalf("increase = %v", impact.IncreaseFrac())
+	}
+}
+
+func TestTemporalForecastBadForecast(t *testing.T) {
+	truth := []float64{100, 1, 1, 100}
+	// The forecast inverts the valley: scheduler picks the bad hours.
+	forecast := []float64{1, 100, 100, 1}
+	impact, err := TemporalForecast(truth, forecast, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.ScheduledCost != 200 || impact.OptimalCost != 2 {
+		t.Fatalf("impact = %+v", impact)
+	}
+	if impact.IncreaseFrac() <= 0 {
+		t.Fatal("bad forecast shows no increase")
+	}
+}
+
+func TestTemporalForecastErrors(t *testing.T) {
+	if _, err := TemporalForecast([]float64{1}, []float64{1, 2}, 0, 1, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TemporalForecast([]float64{1, 2}, []float64{1, 2}, 0, 0, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := TemporalForecast([]float64{1, 2}, []float64{1, 2}, 1, 2, 0); err == nil {
+		t.Error("overrun accepted")
+	}
+}
+
+func TestSpatialForecast(t *testing.T) {
+	truth := mkSet(t, map[string][]float64{
+		"A": {10, 100},
+		"B": {100, 10},
+	})
+	// Forecast swaps the ranking at hour 0 only.
+	forecast := mkSet(t, map[string][]float64{
+		"A": {100, 100},
+		"B": {10, 10},
+	})
+	impact, err := SpatialForecast(truth, forecast, []string{"A", "B"}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forecast picks B at both hours: true cost 100 + 10 = 110.
+	// Optimal is 10 + 10 = 20.
+	if impact.ScheduledCost != 110 || impact.OptimalCost != 20 {
+		t.Fatalf("impact = %+v", impact)
+	}
+}
+
+func TestSpatialForecastPerfect(t *testing.T) {
+	truth := mkSet(t, map[string][]float64{
+		"A": {10, 100, 30},
+		"B": {100, 10, 40},
+	})
+	impact, err := SpatialForecast(truth, truth, []string{"A", "B"}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.ScheduledCost != impact.OptimalCost {
+		t.Fatalf("perfect forecast impact = %+v", impact)
+	}
+}
+
+func TestSpatialForecastErrors(t *testing.T) {
+	s := mkSet(t, map[string][]float64{"A": {1, 2}})
+	if _, err := SpatialForecast(s, s, nil, 0, 1); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := SpatialForecast(s, s, []string{"NOPE"}, 0, 1); err == nil {
+		t.Error("unknown candidate accepted")
+	}
+	if _, err := SpatialForecast(s, s, []string{"A"}, 1, 2); err == nil {
+		t.Error("overrun accepted")
+	}
+	short := mkSet(t, map[string][]float64{"A": {1}})
+	if _, err := SpatialForecast(s, short, []string{"A"}, 0, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMixedWorkloadEndpoints(t *testing.T) {
+	set := mkSet(t, map[string][]float64{
+		"CLEAN": {10, 10},
+		"DIRTY": {700, 700},
+	})
+	arrivals := []int{0, 1}
+	zero, err := MixedWorkload(set, 0, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Reduction() != 0 {
+		t.Fatalf("0%% migratable reduction = %v", zero.Reduction())
+	}
+	if math.Abs(zero.BaselineRate-355) > 1e-9 {
+		t.Fatalf("baseline = %v, want 355", zero.BaselineRate)
+	}
+	all, err := MixedWorkload(set, 1, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything runs in CLEAN at 10.
+	if math.Abs(all.EmissionRate-10) > 1e-9 {
+		t.Fatalf("100%% migratable emission = %v", all.EmissionRate)
+	}
+}
+
+func TestMixedWorkloadMonotone(t *testing.T) {
+	set := mkSet(t, map[string][]float64{
+		"A": {100, 300}, "B": {50, 60}, "C": {400, 20},
+	})
+	arrivals := []int{0, 1}
+	prev := math.Inf(1)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		r, err := MixedWorkload(set, frac, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.EmissionRate > prev+1e-9 {
+			t.Fatalf("emissions rose at frac %v", frac)
+		}
+		prev = r.EmissionRate
+	}
+}
+
+func TestMixedWorkloadErrors(t *testing.T) {
+	set := mkSet(t, map[string][]float64{"A": {1}})
+	if _, err := MixedWorkload(set, -0.1, []int{0}); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := MixedWorkload(set, 1.1, []int{0}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := MixedWorkload(set, 0.5, nil); err == nil {
+		t.Error("empty arrivals accepted")
+	}
+	if _, err := MixedWorkload(set, 0.5, []int{5}); err == nil {
+		t.Error("out-of-range arrival accepted")
+	}
+}
+
+func TestCombinedDecomposition(t *testing.T) {
+	set := mkSet(t, map[string][]float64{
+		"HOME": {500, 500, 500, 500, 500, 500},
+		"DEST": {100, 100, 20, 20, 100, 100},
+	})
+	r, err := Combined(set, "DEST", []string{"HOME"}, 2, 2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spatial: home 1000 -> dest baseline 200, saving 800.
+	if math.Abs(r.SpatialSaving-800) > 1e-9 {
+		t.Fatalf("spatial = %v", r.SpatialSaving)
+	}
+	// Temporal within DEST: baseline 200 -> hours {20,20} = 40, saving 160.
+	if math.Abs(r.TemporalSaving-160) > 1e-9 {
+		t.Fatalf("temporal = %v", r.TemporalSaving)
+	}
+	if math.Abs(r.NetSaving()-960) > 1e-9 {
+		t.Fatalf("net = %v", r.NetSaving())
+	}
+}
+
+func TestCombinedNegativeSpatial(t *testing.T) {
+	// Migrating to a dirtier destination must show a negative spatial
+	// term (the Netherlands/Korea/Utah cases in Figure 12).
+	set := mkSet(t, map[string][]float64{
+		"HOME": {100, 100, 100},
+		"DEST": {500, 400, 450},
+	})
+	r, err := Combined(set, "DEST", []string{"HOME"}, 1, 1, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpatialSaving >= 0 {
+		t.Fatalf("spatial saving = %v, want negative", r.SpatialSaving)
+	}
+}
+
+func TestCombinedErrors(t *testing.T) {
+	set := mkSet(t, map[string][]float64{"A": {1, 2}, "B": {3, 4}})
+	if _, err := Combined(set, "NOPE", []string{"A"}, 1, 0, []int{0}); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if _, err := Combined(set, "A", nil, 1, 0, []int{0}); err == nil {
+		t.Error("empty origins accepted")
+	}
+	if _, err := Combined(set, "A", []string{"B"}, 1, 0, nil); err == nil {
+		t.Error("empty arrivals accepted")
+	}
+	if _, err := Combined(set, "A", []string{"B"}, 0, 0, []int{0}); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := Combined(set, "A", []string{"B"}, 2, 1, []int{0}); err == nil {
+		t.Error("overrun accepted")
+	}
+	if _, err := Combined(set, "A", []string{"NOPE"}, 1, 0, []int{0}); err == nil {
+		t.Error("unknown origin accepted")
+	}
+}
+
+// TestForecastImpactGrowsWithError is the qualitative Figure 11(b)
+// check at unit-test scale: more forecast error, more emissions.
+func TestForecastImpactGrowsWithError(t *testing.T) {
+	src := rng.New(7)
+	truth := make([]float64, 2000)
+	for i := range truth {
+		truth[i] = 300 + 150*math.Sin(2*math.Pi*float64(i)/24) + src.Uniform(-20, 20)
+	}
+	meanIncrease := func(errFrac float64) float64 {
+		noiseSrc := rng.New(99)
+		var acc float64
+		n := 0
+		for arrival := 0; arrival+200 < len(truth); arrival += 97 {
+			forecast, err := UniformError(truth, errFrac, noiseSrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			impact, err := TemporalForecast(truth, forecast, arrival, 8, 150)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += impact.IncreaseFrac()
+			n++
+		}
+		return acc / float64(n)
+	}
+	low := meanIncrease(0.1)
+	high := meanIncrease(0.8)
+	if high <= low {
+		t.Fatalf("impact not increasing: %.4f at 10%% vs %.4f at 80%%", low, high)
+	}
+	if low < 0 {
+		t.Fatalf("negative impact %v", low)
+	}
+}

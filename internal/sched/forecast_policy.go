@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"carbonshift/internal/forecast"
+	"carbonshift/internal/stats"
+)
+
+// ForecastGate is the deployable version of CarbonGate: instead of
+// comparing the current intensity against a *trailing* percentile (a
+// backward-looking proxy), it forecasts the next day from the trailing
+// window with a real model and runs only when the current hour is
+// among the predicted-cheapest hours ahead. This is how a production
+// scheduler consuming a carbon-information API (internal/carbonapi)
+// would actually decide, and it sees no future data.
+type ForecastGate struct {
+	// Model produces the day-ahead view; nil means forecast.Blended.
+	Model forecast.Forecaster
+	// Percentile in (0, 100): run when the current intensity is at or
+	// below this percentile of the forecast horizon.
+	Percentile float64
+	// HistoryHours is how much trailing data to feed the model
+	// (default 21 days).
+	HistoryHours int
+	// HorizonHours is the forecast lookahead (default 24).
+	HorizonHours int
+}
+
+// Name implements Policy.
+func (ForecastGate) Name() string { return "forecast-gate" }
+
+func (p ForecastGate) model() forecast.Forecaster {
+	if p.Model == nil {
+		return forecast.Blended{}
+	}
+	return p.Model
+}
+
+func (p ForecastGate) history() int {
+	if p.HistoryHours <= 0 {
+		return 21 * 24
+	}
+	return p.HistoryHours
+}
+
+func (p ForecastGate) horizon() int {
+	if p.HorizonHours <= 0 {
+		return 24
+	}
+	return p.HorizonHours
+}
+
+// Plan implements Policy.
+func (p ForecastGate) Plan(t *Tick) []Placement {
+	thresholds := make(map[string]float64)
+	threshold := func(region string) float64 {
+		if v, ok := thresholds[region]; ok {
+			return v
+		}
+		// Without enough history for the model, run unconditionally
+		// (equivalent to FIFO during warmup).
+		v := t.CI(region)
+		history := t.Lookback(region, p.history())
+		if pred, err := p.model().Forecast(history, p.horizon()); err == nil && len(pred) > 0 {
+			v = stats.Percentile(pred, p.Percentile)
+		}
+		thresholds[region] = v
+		return v
+	}
+	var out []Placement
+	for _, j := range t.Eligible {
+		if t.FreeSlots[j.Origin] <= 0 {
+			continue
+		}
+		urgent := j.SlackLeft() <= 1
+		if !urgent && t.CI(j.Origin) > threshold(j.Origin) {
+			continue
+		}
+		out = append(out, Placement{JobID: j.ID, Region: j.Origin})
+		t.FreeSlots[j.Origin]--
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package spatial_test
+
+import (
+	"fmt"
+	"time"
+
+	"carbonshift/internal/spatial"
+	"carbonshift/internal/trace"
+)
+
+func exampleSet() *trace.Set {
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	set, err := trace.NewSet([]*trace.Trace{
+		trace.New("GREEN", start, []float64{15, 12, 18, 14}),
+		trace.New("BROWN", start, []float64{700, 650, 720, 680}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// A job migrates once to the region with the lowest annual mean.
+func ExampleOneMigrationCost() {
+	set := exampleSet()
+	cost, dest, err := spatial.OneMigrationCost(set, set.Regions(), 0, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("migrated to %s for %.0f g\n", dest, cost)
+	// Output:
+	// migrated to GREEN for 59 g
+}
+
+// Capacity-constrained placement: the dirty region offloads half its
+// work into the green region's idle capacity.
+func ExampleAssignCapacity() {
+	nodes := []spatial.Node{
+		{Code: "GREEN", MeanCI: 15, Workload: 0.5, Idle: 0.5},
+		{Code: "BROWN", MeanCI: 690, Workload: 0.5, Idle: 0.5},
+	}
+	a, err := spatial.AssignCapacity(nodes, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("emission rate %.1f -> %.1f g/kWh (%d move)\n",
+		a.BaselineRate, a.EmissionRate, len(a.Moves))
+	// Output:
+	// emission rate 352.5 -> 15.0 g/kWh (1 move)
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the preprocessing the paper's artifact applies to
+// raw carbon-intensity exports before analysis: real feeds arrive with
+// missing hours (marked NaN) and sometimes at sub-hourly resolution.
+// Repair interpolates gaps; Resample aggregates to the hourly grid.
+
+// Repair returns a copy of ci with NaN gaps filled: interior gaps are
+// linearly interpolated between the surrounding valid samples, and
+// leading/trailing gaps are filled with the nearest valid value. It
+// also returns the number of filled samples. A series with no valid
+// samples at all is an error.
+func Repair(ci []float64) ([]float64, int, error) {
+	out := make([]float64, len(ci))
+	copy(out, ci)
+
+	firstValid, lastValid := -1, -1
+	for i, v := range out {
+		if !math.IsNaN(v) {
+			if firstValid < 0 {
+				firstValid = i
+			}
+			lastValid = i
+		}
+	}
+	if firstValid < 0 {
+		return nil, 0, fmt.Errorf("trace: cannot repair a series with no valid samples")
+	}
+
+	filled := 0
+	// Leading gap: nearest-fill.
+	for i := 0; i < firstValid; i++ {
+		out[i] = out[firstValid]
+		filled++
+	}
+	// Trailing gap: nearest-fill.
+	for i := lastValid + 1; i < len(out); i++ {
+		out[i] = out[lastValid]
+		filled++
+	}
+	// Interior gaps: linear interpolation.
+	i := firstValid
+	for i < lastValid {
+		if !math.IsNaN(out[i+1]) {
+			i++
+			continue
+		}
+		// Find the end of the gap.
+		j := i + 1
+		for math.IsNaN(out[j]) {
+			j++
+		}
+		lo, hi := out[i], out[j]
+		span := float64(j - i)
+		for k := i + 1; k < j; k++ {
+			out[k] = lo + (hi-lo)*float64(k-i)/span
+			filled++
+		}
+		i = j
+	}
+	return out, filled, nil
+}
+
+// Resample aggregates a finer-grained series to a coarser one by
+// averaging consecutive groups of `factor` samples (e.g. factor 4
+// turns 15-minute data into hourly data). The input length must be a
+// multiple of factor. NaN samples within a group are ignored; a group
+// of only NaNs yields NaN (repair afterwards).
+func Resample(samples []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("trace: resample factor %d must be >= 1", factor)
+	}
+	if len(samples)%factor != 0 {
+		return nil, fmt.Errorf("trace: %d samples not divisible by factor %d", len(samples), factor)
+	}
+	out := make([]float64, len(samples)/factor)
+	for g := range out {
+		var sum float64
+		n := 0
+		for k := 0; k < factor; k++ {
+			v := samples[g*factor+k]
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			out[g] = math.NaN()
+			continue
+		}
+		out[g] = sum / float64(n)
+	}
+	return out, nil
+}
+
+// GapStats summarizes the missing-data structure of a raw series: the
+// number of NaN samples and the length of the longest contiguous gap.
+func GapStats(ci []float64) (missing, longestGap int) {
+	run := 0
+	for _, v := range ci {
+		if math.IsNaN(v) {
+			missing++
+			run++
+			if run > longestGap {
+				longestGap = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return missing, longestGap
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nan() float64 { return math.NaN() }
+
+func TestRepairInteriorGap(t *testing.T) {
+	ci := []float64{10, nan(), nan(), 40, 50}
+	fixed, filled, err := Repair(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled != 2 {
+		t.Fatalf("filled = %d", filled)
+	}
+	want := []float64{10, 20, 30, 40, 50}
+	for i := range want {
+		if math.Abs(fixed[i]-want[i]) > 1e-9 {
+			t.Fatalf("fixed = %v, want %v", fixed, want)
+		}
+	}
+	// Input untouched.
+	if !math.IsNaN(ci[1]) {
+		t.Fatal("Repair mutated its input")
+	}
+}
+
+func TestRepairEdgeGaps(t *testing.T) {
+	ci := []float64{nan(), nan(), 7, 9, nan()}
+	fixed, filled, err := Repair(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled != 3 {
+		t.Fatalf("filled = %d", filled)
+	}
+	want := []float64{7, 7, 7, 9, 9}
+	for i := range want {
+		if fixed[i] != want[i] {
+			t.Fatalf("fixed = %v, want %v", fixed, want)
+		}
+	}
+}
+
+func TestRepairNoGaps(t *testing.T) {
+	ci := []float64{1, 2, 3}
+	fixed, filled, err := Repair(ci)
+	if err != nil || filled != 0 {
+		t.Fatalf("filled = %d, err = %v", filled, err)
+	}
+	for i := range ci {
+		if fixed[i] != ci[i] {
+			t.Fatal("values changed")
+		}
+	}
+}
+
+func TestRepairAllNaN(t *testing.T) {
+	if _, _, err := Repair([]float64{nan(), nan()}); err == nil {
+		t.Fatal("all-NaN series accepted")
+	}
+}
+
+func TestRepairedSeriesValidates(t *testing.T) {
+	ci := []float64{nan(), 100, nan(), nan(), 400, nan()}
+	fixed, _, err := Repair(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New("X", t0, fixed)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("repaired trace invalid: %v", err)
+	}
+}
+
+func TestQuickRepairRemovesAllNaNs(t *testing.T) {
+	f := func(raw []uint8, mask []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ci := make([]float64, len(raw))
+		anyValid := false
+		for i := range ci {
+			if i < len(mask) && mask[i] {
+				ci[i] = math.NaN()
+			} else {
+				ci[i] = float64(raw[i])
+				anyValid = true
+			}
+		}
+		fixed, _, err := Repair(ci)
+		if !anyValid {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range ci {
+			if !math.IsNaN(v) {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		for _, v := range fixed {
+			if math.IsNaN(v) {
+				return false
+			}
+			// Interpolation never exceeds the valid range.
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	quarterHourly := []float64{1, 2, 3, 4, 10, 10, 10, 10}
+	hourly, err := Resample(quarterHourly, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hourly) != 2 || hourly[0] != 2.5 || hourly[1] != 10 {
+		t.Fatalf("hourly = %v", hourly)
+	}
+}
+
+func TestResampleIgnoresNaN(t *testing.T) {
+	in := []float64{1, nan(), 3, nan()}
+	out, err := Resample(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	// All-NaN group stays NaN for Repair to handle.
+	out, err = Resample([]float64{nan(), nan(), 5, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out[0]) || out[1] != 6 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := Resample([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("non-divisible length accepted")
+	}
+	if _, err := Resample([]float64{1}, 0); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	in := []float64{4, 5, 6}
+	out, err := Resample(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("factor-1 resample changed data: %v", out)
+		}
+	}
+}
+
+func TestGapStats(t *testing.T) {
+	ci := []float64{1, nan(), nan(), 4, nan(), 6}
+	missing, longest := GapStats(ci)
+	if missing != 3 || longest != 2 {
+		t.Fatalf("GapStats = %d, %d", missing, longest)
+	}
+	missing, longest = GapStats([]float64{1, 2})
+	if missing != 0 || longest != 0 {
+		t.Fatalf("clean GapStats = %d, %d", missing, longest)
+	}
+}
