@@ -13,6 +13,7 @@ package carbonshift_test
 // below measure the raw kernels without caching.
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -51,7 +52,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		tbl, err := exp.Run(l)
+		tbl, err := exp.Run(context.Background(), l)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,6 +61,61 @@ func benchExperiment(b *testing.B, id string) {
 		}
 	}
 }
+
+// --- Serial vs parallel engine benchmarks ---
+//
+// One lab per worker count so each carries the experiment engine bound
+// under test; all of them share the process-level simgrid trace cache,
+// so only the first pays dataset generation. The benchmarked figures
+// (fig4, the global periodicity scan, and the fig11a/fig12 what-ifs)
+// memoize nothing inside the Lab, so every iteration re-does the full
+// cell fan-out and the ratio Serial/Parallel8 is the engine speedup.
+
+var (
+	workerLabsMu sync.Mutex
+	workerLabs   = map[int]*core.Lab{}
+)
+
+func labWithWorkers(b *testing.B, workers int) *core.Lab {
+	b.Helper()
+	workerLabsMu.Lock()
+	defer workerLabsMu.Unlock()
+	if l, ok := workerLabs[workers]; ok {
+		return l
+	}
+	l, err := core.NewLab(core.Options{Sim: simgrid.Config{Seed: 1}, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerLabs[workers] = l
+	return l
+}
+
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
+	l := labWithWorkers(b, workers)
+	exp, err := core.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(context.Background(), l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Global analysis (Figure 4): one FFT-heavy cell per region.
+func BenchmarkEngineFig4Serial(b *testing.B)    { benchExperimentWorkers(b, "fig4", 1) }
+func BenchmarkEngineFig4Parallel8(b *testing.B) { benchExperimentWorkers(b, "fig4", 8) }
+
+// What-if sweep (Figure 11a): one mixed-fleet evaluation per cell.
+func BenchmarkEngineFig11aSerial(b *testing.B)    { benchExperimentWorkers(b, "fig11a", 1) }
+func BenchmarkEngineFig11aParallel8(b *testing.B) { benchExperimentWorkers(b, "fig11a", 8) }
+
+// What-if sweep (Figure 12): one combined-shifting destination per cell.
+func BenchmarkEngineFig12Serial(b *testing.B)    { benchExperimentWorkers(b, "fig12", 1) }
+func BenchmarkEngineFig12Parallel8(b *testing.B) { benchExperimentWorkers(b, "fig12", 8) }
 
 // --- One benchmark per paper table/figure ---
 

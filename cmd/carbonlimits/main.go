@@ -6,16 +6,21 @@
 //	carbonlimits -list
 //	carbonlimits -exp fig5a
 //	carbonlimits -all -format csv -out results/
-//	carbonlimits -exp fig7 -seed 7 -span 2000
+//	carbonlimits -exp fig7 -seed 7 -span 2000 -workers 8
 //
 // Each experiment id corresponds to one figure of the paper's
-// evaluation; see DESIGN.md for the index.
+// evaluation; see DESIGN.md for the index. Experiments fan their
+// independent cells across -workers goroutines (default: one per CPU);
+// results are byte-identical for every worker count, and -workers 1
+// runs the serial reference path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -35,9 +40,13 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		span    = flag.Int("span", 0, "arrival span in hours (default 8760)")
 		stride  = flag.Int("stride", 0, "arrival stride for scenario sweeps (default ~293)")
+		workers = flag.Int("workers", 0, "engine worker bound (0 = one per CPU, 1 = serial)")
 		verbose = flag.Bool("v", false, "print progress to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *list {
 		for _, e := range core.Experiments() {
@@ -70,10 +79,11 @@ func main() {
 	if *verbose {
 		fmt.Fprintln(os.Stderr, "carbonlimits: generating 123-region dataset...")
 	}
-	lab, err := core.NewLab(core.Options{
+	lab, err := core.NewLabCtx(ctx, core.Options{
 		Sim:         simgrid.Config{Seed: *seed},
 		ArrivalSpan: *span,
 		Stride:      *stride,
+		Workers:     *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbonlimits:", err)
@@ -85,7 +95,7 @@ func main() {
 	}
 
 	if *report {
-		if err := lab.WriteReport(os.Stdout); err != nil {
+		if err := lab.WriteReport(ctx, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "carbonlimits:", err)
 			os.Exit(1)
 		}
@@ -94,7 +104,7 @@ func main() {
 
 	for _, e := range exps {
 		t0 := time.Now()
-		tbl, err := e.Run(lab)
+		tbl, err := e.Run(ctx, lab)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "carbonlimits: %s: %v\n", e.ID, err)
 			os.Exit(1)

@@ -7,15 +7,22 @@
 //
 //	carbonsched                         # defaults: 3 regions, 400 jobs, 60 days
 //	carbonsched -regions DE,SE,US-CA -jobs 1000 -slots 40
-//	carbonsched -slack 168 -migratable 0.8 -interruptible 0.9
+//	carbonsched -slack 168 -migratable 0.8 -interruptible 0.9 -workers 4
+//
+// The policies run concurrently on -workers goroutines (default: one
+// per CPU) over the same deterministic job stream; the comparison table
+// is identical for every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"carbonshift/internal/engine"
 	"carbonshift/internal/regions"
 	"carbonshift/internal/sched"
 	"carbonshift/internal/simgrid"
@@ -31,8 +38,12 @@ func main() {
 		interruptible = flag.Float64("interruptible", 0.8, "fraction of interruptible jobs")
 		migratable    = flag.Float64("migratable", 0.6, "fraction of migratable jobs")
 		seed          = flag.Uint64("seed", 1, "simulation seed")
+		workers       = flag.Int("workers", 0, "engine worker bound (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var regs []regions.Region
 	var codes []string
@@ -47,7 +58,7 @@ func main() {
 		codes = append(codes, code)
 	}
 	horizon := *days * 24
-	set, err := simgrid.Generate(regs, simgrid.Config{Seed: *seed, Hours: horizon})
+	set, err := simgrid.GenerateCached(ctx, regs, simgrid.Config{Seed: *seed, Hours: horizon}, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbonsched:", err)
 		os.Exit(1)
@@ -89,16 +100,17 @@ func main() {
 		*jobs, len(codes), *slots, *days, *slack)
 	fmt.Printf("%-16s %14s %10s %8s %8s %10s\n",
 		"policy", "emissions_kg", "vs_fifo", "missed", "wait_h", "util")
-	var fifoEmissions float64
-	for i, p := range policies {
-		res, err := sched.Run(set, clusters, stream, p, horizon)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "carbonsched:", err)
-			os.Exit(1)
-		}
-		if i == 0 {
-			fifoEmissions = res.TotalEmissions
-		}
+	// Each policy simulates the same job stream independently; fan them
+	// across the worker pool and print in the fixed policy order.
+	results, err := engine.Map(ctx, *workers, len(policies), func(_ context.Context, i int) (sched.Result, error) {
+		return sched.Run(set, clusters, stream, policies[i], horizon)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbonsched:", err)
+		os.Exit(1)
+	}
+	fifoEmissions := results[0].TotalEmissions
+	for _, res := range results {
 		saving := 0.0
 		if fifoEmissions > 0 {
 			saving = 100 * (fifoEmissions - res.TotalEmissions) / fifoEmissions

@@ -5,9 +5,35 @@
 // engines, the what-if scenario machinery, and one experiment per
 // figure of the paper's evaluation.
 //
+// # Architecture
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// system inventory) and is exercised through the cmd/ tools and the
+// runnable examples/. Three layers matter most:
+//
+//   - internal/core owns the dataset and implements one experiment per
+//     paper figure. Each experiment decomposes into independent
+//     (region × policy × scenario) cells.
+//   - internal/engine is the concurrent experiment engine: a
+//     context-aware, bounded worker pool that fans those cells across
+//     goroutines while keeping every output byte-identical to a serial
+//     run. Experiments accept a context.Context and honour
+//     cancellation mid-run; the -workers CLI flag (default: one worker
+//     per CPU) bounds the fan-out, and -workers 1 is the serial
+//     reference path.
+//   - internal/simgrid synthesizes the hourly carbon-intensity traces
+//     and memoizes them in a process-level cache keyed by the full
+//     simulation fingerprint, so each (region, config) trace is
+//     generated exactly once per process no matter how many
+//     experiments, labs, or benchmark iterations ask for it.
+//
+// Determinism is load-bearing: stochastic cells derive their random
+// streams by pre-splitting an explicitly seeded generator
+// (internal/rng.SplitN), never from worker identity or scheduling
+// order, and every reduction over cell results runs in submission
+// order. The serial-vs-parallel equivalence is asserted by tests and
+// measured by the Benchmark* pairs in bench_test.go.
+//
 // The root package holds only this documentation and the benchmark
 // harness (bench_test.go), which regenerates every table and figure.
-// The implementation lives under internal/ (see DESIGN.md for the
-// system inventory) and is exercised through the cmd/ tools and the
-// runnable examples/.
 package carbonshift

@@ -1,0 +1,3 @@
+module carbonshift
+
+go 1.24

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -119,7 +120,7 @@ func TestTemporalCellCaching(t *testing.T) {
 
 func TestFillTemporalGrid(t *testing.T) {
 	l := mini(t)
-	if err := l.FillTemporalGrid([]int{1, 24}, []int{24}); err != nil {
+	if err := l.FillTemporalGrid(context.Background(), []int{1, 24}, []int{24}); err != nil {
 		t.Fatal(err)
 	}
 	// All cells present without further computation.
@@ -135,7 +136,7 @@ func TestFillTemporalGrid(t *testing.T) {
 func TestAllExperimentsRunOnMiniLab(t *testing.T) {
 	l := mini(t)
 	for _, e := range Experiments() {
-		tbl, err := e.Run(l)
+		tbl, err := e.Run(context.Background(), l)
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
@@ -164,7 +165,7 @@ func TestAllExperimentsRunOnMiniLab(t *testing.T) {
 func TestWriteReport(t *testing.T) {
 	l := mini(t)
 	var buf bytes.Buffer
-	if err := l.WriteReport(&buf); err != nil {
+	if err := l.WriteReport(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	s := buf.String()
@@ -199,7 +200,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Fatalf("duplicate experiment id %s", e.ID)
 		}
 		seen[e.ID] = true
-		if e.Run == nil || e.Title == "" || e.Figure == "" {
+		if e.run == nil || e.Title == "" || e.Figure == "" {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
@@ -249,7 +250,7 @@ func TestTableMustValuePanics(t *testing.T) {
 
 func TestHeadlineIdealSpatial(t *testing.T) {
 	l := full(t)
-	tbl, err := l.Fig5a()
+	tbl, err := l.Fig5a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestHeadlineIdealSpatial(t *testing.T) {
 
 func TestHeadlineCapacityConstrained(t *testing.T) {
 	l := full(t)
-	tbl, err := l.Fig5c()
+	tbl, err := l.Fig5c(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestHeadlineCapacityConstrained(t *testing.T) {
 
 func TestHeadlineLatency(t *testing.T) {
 	l := full(t)
-	tbl, err := l.Fig6a()
+	tbl, err := l.Fig6a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestHeadlineLatency(t *testing.T) {
 
 func TestHeadlineOneVsInfMigration(t *testing.T) {
 	l := full(t)
-	tbl, err := l.Fig6b()
+	tbl, err := l.Fig6b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestHeadlineOneVsInfMigration(t *testing.T) {
 
 func TestHeadlineTemporalShape(t *testing.T) {
 	l := full(t)
-	fig7, err := l.Fig7()
+	fig7, err := l.Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestHeadlineTemporalShape(t *testing.T) {
 		t.Fatalf("168h practical deferral saving = %.1f g, paper reports ~3 g", last.Values[1])
 	}
 
-	fig8, err := l.Fig8()
+	fig8, err := l.Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestHeadlineTemporalShape(t *testing.T) {
 
 func TestHeadlineDistributions(t *testing.T) {
 	l := full(t)
-	tbl, err := l.Fig10()
+	tbl, err := l.Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +390,7 @@ func TestHeadlineDistributions(t *testing.T) {
 
 func TestHeadlineSlackSublinear(t *testing.T) {
 	l := full(t)
-	tbl, err := l.Fig10d()
+	tbl, err := l.Fig10d(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +414,7 @@ func TestHeadlineSlackSublinear(t *testing.T) {
 
 func TestHeadlineMixedWorkloadLinear(t *testing.T) {
 	l := full(t)
-	tbl, err := l.Fig11a()
+	tbl, err := l.Fig11a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +431,7 @@ func TestHeadlineMixedWorkloadLinear(t *testing.T) {
 
 func TestHeadlineSpatialDominatesTemporal(t *testing.T) {
 	l := full(t)
-	tbl, err := l.Fig12()
+	tbl, err := l.Fig12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

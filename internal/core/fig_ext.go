@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"carbonshift/internal/engine"
 	"carbonshift/internal/forecast"
 	"carbonshift/internal/scenario"
 	"carbonshift/internal/sched"
@@ -16,7 +18,7 @@ import (
 // forecasts instead of the truth. The paper argues a ~14% MAPE
 // forecast costs only ~3% extra emissions; this experiment produces
 // that relationship from first principles.
-func (l *Lab) ExtForecast() (*Table, error) {
+func (l *Lab) ExtForecast(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "ext-forecast",
 		Title:   "Forecast models: day-ahead MAPE and scheduling cost (extension of §6.2)",
@@ -40,34 +42,52 @@ func (l *Lab) ExtForecast() (*Table, error) {
 		forecast.SeasonalNaive{Period: 24, Cycles: 7},
 		forecast.Blended{},
 	}
-	for _, model := range models {
+	// One (model, region) backtest per cell, reduced per model in
+	// region order afterwards.
+	type cell struct {
+		mape   float64
+		incAcc float64
+		incN   int
+	}
+	cells, err := engine.Map(ctx, l.workers, len(models)*len(codes), func(_ context.Context, i int) (cell, error) {
+		model := models[i/len(codes)]
+		tr := l.Set.MustGet(codes[i%len(codes)])
+		m, err := forecast.Backtest(model, tr.CI, warmup, 24, 24*13)
+		if err != nil {
+			return cell{}, err
+		}
+		c := cell{mape: m}
+		// Schedule interruptible jobs on the forecast view, pay on
+		// the truth.
+		view, err := forecast.ForecastTrace(model, tr, warmup, refresh)
+		if err != nil {
+			return cell{}, err
+		}
+		for _, a := range l.strideArrivals(length + slack) {
+			if a < warmup {
+				continue
+			}
+			impact, err := scenario.TemporalForecast(tr.CI, view.CI, a, length, slack)
+			if err != nil {
+				return cell{}, err
+			}
+			c.incAcc += impact.IncreaseFrac()
+			c.incN++
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, model := range models {
 		var mapeAcc, incAcc float64
 		mapeN, incN := 0, 0
-		for _, code := range codes {
-			tr := l.Set.MustGet(code)
-			m, err := forecast.Backtest(model, tr.CI, warmup, 24, 24*13)
-			if err != nil {
-				return nil, err
-			}
-			mapeAcc += m
+		for ci := range codes {
+			c := cells[mi*len(codes)+ci]
+			mapeAcc += c.mape
 			mapeN++
-			// Schedule interruptible jobs on the forecast view, pay on
-			// the truth.
-			view, err := forecast.ForecastTrace(model, tr, warmup, refresh)
-			if err != nil {
-				return nil, err
-			}
-			for _, a := range l.strideArrivals(length + slack) {
-				if a < warmup {
-					continue
-				}
-				impact, err := scenario.TemporalForecast(tr.CI, view.CI, a, length, slack)
-				if err != nil {
-					return nil, err
-				}
-				incAcc += impact.IncreaseFrac()
-				incN++
-			}
+			incAcc += c.incAcc
+			incN += c.incN
 		}
 		if incN == 0 {
 			return nil, fmt.Errorf("core: ext-forecast has no post-warmup arrivals")
@@ -85,7 +105,7 @@ func (l *Lab) ExtForecast() (*Table, error) {
 // experiment sweeps fleet load on the simulated scheduler and reports
 // the carbon-gate policy's advantage over carbon-agnostic FIFO at each
 // load level, alongside the unconstrained analytical bound.
-func (l *Lab) ExtContention() (*Table, error) {
+func (l *Lab) ExtContention(ctx context.Context) (*Table, error) {
 	region := l.exampleRegion()
 	horizon := l.Set.Len()
 	if horizon > 60*24 {
@@ -128,16 +148,28 @@ func (l *Lab) ExtContention() (*Table, error) {
 			jobs[i].Length = 24
 		}
 	}
-	for _, slots := range []int{400, 60, 30, 20, 15, 10} {
-		cl := []sched.Cluster{{Region: region, Slots: slots}}
+	// One capacity level per cell: each runs the FIFO and carbon-gate
+	// simulations on its own copy of the scheduler state (sched.Run
+	// never mutates the shared job stream).
+	slotLevels := []int{400, 60, 30, 20, 15, 10}
+	type levelResult struct{ fifo, gate sched.Result }
+	rows, err := engine.Map(ctx, l.workers, len(slotLevels), func(_ context.Context, i int) (levelResult, error) {
+		cl := []sched.Cluster{{Region: region, Slots: slotLevels[i]}}
 		fifo, err := sched.Run(l.Set, cl, jobs, sched.FIFO{}, horizon)
 		if err != nil {
-			return nil, err
+			return levelResult{}, err
 		}
 		gate, err := sched.Run(l.Set, cl, jobs, sched.CarbonGate{Percentile: 35, Window: 168}, horizon)
 		if err != nil {
-			return nil, err
+			return levelResult{}, err
 		}
+		return levelResult{fifo, gate}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, slots := range slotLevels {
+		fifo, gate := rows[i].fifo, rows[i].gate
 		saving := 0.0
 		if fifo.TotalEmissions > 0 {
 			saving = 100 * (fifo.TotalEmissions - gate.TotalEmissions) / fifo.TotalEmissions

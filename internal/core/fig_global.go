@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"carbonshift/internal/engine"
 	"carbonshift/internal/fft"
 	"carbonshift/internal/regions"
 	"carbonshift/internal/stats"
@@ -16,7 +18,7 @@ var exampleRegions = []string{"US-CA", "CA-ON", "IN-WE"}
 // Fig1 reproduces Figure 1: example carbon traces (a) and generation
 // mixes (b) for California, Ontario, and Mumbai. Rows carry the trace
 // statistics plus the full mix, one column per source.
-func (l *Lab) Fig1() (*Table, error) {
+func (l *Lab) Fig1(context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "fig1",
 		Title: "Example carbon traces and generation mixes (California, Ontario, Mumbai)",
@@ -77,7 +79,7 @@ func (l *Lab) pickExamples() []string {
 // Fig3a reproduces Figure 3(a): each region's 2022 mean carbon
 // intensity and average daily coefficient of variation, plus the
 // quadrant census around the dataset averages.
-func (l *Lab) Fig3a() (*Table, error) {
+func (l *Lab) Fig3a(ctx context.Context) (*Table, error) {
 	year, err := l.latestFullYear()
 	if err != nil {
 		return nil, err
@@ -91,13 +93,20 @@ func (l *Lab) Fig3a() (*Table, error) {
 		Title:   fmt.Sprintf("Mean carbon intensity vs average daily CV, %d", year),
 		Columns: []string{"mean_ci", "daily_cv"},
 	}
+	codes := set.Regions()
+	type cell struct{ m, cv float64 }
+	rows, err := engine.Map(ctx, l.workers, len(codes), func(_ context.Context, i int) (cell, error) {
+		tr := set.MustGet(codes[i])
+		return cell{tr.Mean(), stats.DailyCV(tr.CI)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var means, cvs []float64
-	for _, code := range set.Regions() {
-		tr := set.MustGet(code)
-		m, cv := tr.Mean(), stats.DailyCV(tr.CI)
-		t.AddRow(code, m, cv)
-		means = append(means, m)
-		cvs = append(cvs, cv)
+	for i, code := range codes {
+		t.AddRow(code, rows[i].m, rows[i].cv)
+		means = append(means, rows[i].m)
+		cvs = append(cvs, rows[i].cv)
 	}
 	meanCI, meanCV := stats.Mean(means), stats.Mean(cvs)
 	var q [4]int // [low-low, low-high, high-low, high-high] (CI, CV)
@@ -135,7 +144,7 @@ func (l *Lab) Fig3a() (*Table, error) {
 // Fig3b reproduces Figure 3(b): per-region change in mean CI and daily
 // CV between the first and last study years, clustered with k-means++
 // (k=3) as in the paper.
-func (l *Lab) Fig3b() (*Table, error) {
+func (l *Lab) Fig3b(ctx context.Context) (*Table, error) {
 	firstYear, lastYear, err := l.yearRange()
 	if err != nil {
 		return nil, err
@@ -149,13 +158,15 @@ func (l *Lab) Fig3b() (*Table, error) {
 		return nil, err
 	}
 	codes := l.Set.Regions()
-	points := make([]stats.Point, len(codes))
-	for i, code := range codes {
-		f, la := first.MustGet(code), last.MustGet(code)
-		points[i] = stats.Point{
+	points, err := engine.Map(ctx, l.workers, len(codes), func(_ context.Context, i int) (stats.Point, error) {
+		f, la := first.MustGet(codes[i]), last.MustGet(codes[i])
+		return stats.Point{
 			X: la.Mean() - f.Mean(),
 			Y: stats.DailyCV(la.CI) - stats.DailyCV(f.CI),
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	km, err := stats.KMeans(points, 3, l.opts.Sim.Seed+1)
 	if err != nil {
@@ -190,7 +201,7 @@ func (l *Lab) Fig3b() (*Table, error) {
 // Fig4 reproduces Figure 4: periodicity scores at the 24-hour and
 // 168-hour periods for the regions hosting hyperscale datacenters,
 // ordered by ascending mean carbon intensity.
-func (l *Lab) Fig4() (*Table, error) {
+func (l *Lab) Fig4(ctx context.Context) (*Table, error) {
 	year, err := l.latestFullYear()
 	if err != nil {
 		return nil, err
@@ -220,13 +231,20 @@ func (l *Lab) Fig4() (*Table, error) {
 		Title:   fmt.Sprintf("Periodicity scores for %d datacenter regions, %d (ordered by mean CI)", len(codes), year),
 		Columns: []string{"mean_ci", "score_24h", "score_168h"},
 	}
+	// The two Bluestein FFTs per region dominate this figure; fan them
+	// across the pool, one region per cell.
+	type cell struct{ mean, s24, s168 float64 }
+	rows, err := engine.Map(ctx, l.workers, len(codes), func(_ context.Context, i int) (cell, error) {
+		tr := set.MustGet(codes[i])
+		return cell{tr.Mean(), fft.ScoreAt(tr.CI, 24), fft.ScoreAt(tr.CI, 168)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	daily := 0
-	for _, code := range codes {
-		tr := set.MustGet(code)
-		s24 := fft.ScoreAt(tr.CI, 24)
-		s168 := fft.ScoreAt(tr.CI, 168)
-		t.AddRow(code, tr.Mean(), s24, s168)
-		if s24 >= 0.5 {
+	for i, code := range codes {
+		t.AddRow(code, rows[i].mean, rows[i].s24, rows[i].s168)
+		if rows[i].s24 >= 0.5 {
 			daily++
 		}
 	}

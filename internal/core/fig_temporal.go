@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"carbonshift/internal/workload"
@@ -36,8 +37,8 @@ func (l *Lab) slackFor(slack int) int {
 
 // Fig7 reproduces Figure 7: carbon reduction from deferrability,
 // normalized by job length, for one-year and 24-hour slack.
-func (l *Lab) Fig7() (*Table, error) {
-	return l.perLengthTable("fig7",
+func (l *Lab) Fig7(ctx context.Context) (*Table, error) {
+	return l.perLengthTable(ctx, "fig7",
 		"Deferrability savings per unit job length (g·CO₂eq per job-hour)",
 		func(ms meanSavingsPerUnit) (float64, float64) {
 			return ms.deferIdeal, ms.deferPractical
@@ -47,8 +48,8 @@ func (l *Lab) Fig7() (*Table, error) {
 
 // Fig8 reproduces Figure 8: the additional reduction from
 // interruptibility on top of deferrability, per unit job length.
-func (l *Lab) Fig8() (*Table, error) {
-	return l.perLengthTable("fig8",
+func (l *Lab) Fig8(ctx context.Context) (*Table, error) {
+	return l.perLengthTable(ctx, "fig8",
 		"Additional interruptibility savings per unit job length (g·CO₂eq per job-hour)",
 		func(ms meanSavingsPerUnit) (float64, float64) {
 			return ms.intrIdeal, ms.intrPractical
@@ -58,8 +59,8 @@ func (l *Lab) Fig8() (*Table, error) {
 
 // Fig9 reproduces Figure 9: the combined deferral+interruption savings
 // as a percentage of the global average intensity.
-func (l *Lab) Fig9() (*Table, error) {
-	t, err := l.perLengthTable("fig9",
+func (l *Lab) Fig9(ctx context.Context) (*Table, error) {
+	t, err := l.perLengthTable(ctx, "fig9",
 		"Combined temporal savings relative to global average intensity (%)",
 		func(ms meanSavingsPerUnit) (float64, float64) {
 			return 100 * (ms.deferIdeal + ms.intrIdeal) / l.GlobalMean,
@@ -76,13 +77,18 @@ type meanSavingsPerUnit struct {
 	deferPractical, intrPractical float64
 }
 
-func (l *Lab) perLengthTable(id, title string, pick func(meanSavingsPerUnit) (float64, float64), note string) (*Table, error) {
+func (l *Lab) perLengthTable(ctx context.Context, id, title string, pick func(meanSavingsPerUnit) (float64, float64), note string) (*Table, error) {
 	ideal := l.slackFor(figSlackIdeal)
 	practical := l.slackFor(figSlackPractical)
 	t := &Table{
 		ID:      id,
 		Title:   title,
 		Columns: []string{"one_year_slack", "24h_slack"},
+	}
+	// Fan every (region, length, slack) cell across the worker pool,
+	// then assemble the table from pure cache hits in a fixed order.
+	if err := l.FillTemporalGrid(ctx, l.lengthsFor(ideal), []int{ideal, practical}); err != nil {
+		return nil, err
 	}
 	codes := l.Set.Regions()
 	for _, length := range l.lengthsFor(ideal) {
@@ -117,7 +123,7 @@ func (l *Lab) perLengthTable(id, title string, pick func(meanSavingsPerUnit) (fl
 // Fig10 reproduces Figure 10(a–c): fleet-level temporal savings under
 // the equal, Azure, and Google job-length weightings with one-year
 // slack, by geographic grouping.
-func (l *Lab) Fig10() (*Table, error) {
+func (l *Lab) Fig10(ctx context.Context) (*Table, error) {
 	ideal := l.slackFor(figSlackIdeal)
 	dists := []workload.Distribution{workload.DistEqual, workload.DistAzure, workload.DistGoogle}
 	t := &Table{
@@ -126,6 +132,9 @@ func (l *Lab) Fig10() (*Table, error) {
 		Columns: []string{"equal", "azure", "google"},
 	}
 	lengths := l.lengthsFor(ideal)
+	if err := l.FillTemporalGrid(ctx, lengths, []int{ideal}); err != nil {
+		return nil, err
+	}
 	// perUnit[code][length] = combined saving per job-hour.
 	perUnit := make(map[string]map[int]float64, l.Set.Size())
 	for _, code := range l.Set.Regions() {
@@ -154,7 +163,7 @@ func (l *Lab) Fig10() (*Table, error) {
 
 // Fig10d reproduces Figure 10(d): global fleet savings as slack sweeps
 // from 24 hours to one year (equal job-length weighting).
-func (l *Lab) Fig10d() (*Table, error) {
+func (l *Lab) Fig10d(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "fig10d",
 		Title:   "Fleet temporal savings vs slack (equal weighting, g·CO₂eq per job-hour)",
@@ -168,6 +177,10 @@ func (l *Lab) Fig10d() (*Table, error) {
 		workload.Slack1Y:  "1y",
 	}
 	codes := l.Set.Regions()
+	// Collect the distinct clamped slacks once, warm every cell in one
+	// engine pass, then reduce serially in presentation order.
+	type slackRow struct{ raw, clamped int }
+	var rows []slackRow
 	seen := make(map[int]bool)
 	for _, rawSlack := range workload.Slacks {
 		slack := l.slackFor(rawSlack)
@@ -175,6 +188,21 @@ func (l *Lab) Fig10d() (*Table, error) {
 			continue // tiny test labs may clamp several slacks together
 		}
 		seen[slack] = true
+		rows = append(rows, slackRow{rawSlack, slack})
+	}
+	var cells []cellKey
+	for _, code := range codes {
+		for _, r := range rows {
+			for _, length := range l.lengthsFor(r.clamped) {
+				cells = append(cells, cellKey{code, length, r.clamped})
+			}
+		}
+	}
+	if err := l.warmCells(ctx, cells); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		rawSlack, slack := r.raw, r.clamped
 		lengths := l.lengthsFor(slack)
 		saving := MeanOver(codes, func(code string) float64 {
 			vals := make(map[int]float64, len(lengths))

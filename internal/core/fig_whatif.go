@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"carbonshift/internal/engine"
 	"carbonshift/internal/regions"
 	"carbonshift/internal/rng"
 	"carbonshift/internal/scenario"
@@ -14,24 +16,32 @@ import (
 
 // Fig11a reproduces Figure 11(a): carbon reduction as the migratable
 // share of a mixed batch/interactive fleet grows.
-func (l *Lab) Fig11a() (*Table, error) {
+func (l *Lab) Fig11a(ctx context.Context) (*Table, error) {
 	arrivals := l.strideArrivals(1)
 	t := &Table{
 		ID:      "fig11a",
 		Title:   "Mixed workloads: reduction vs migratable fraction",
 		Columns: []string{"reduction_g", "reduction_pct"},
 	}
+	var fracs []float64
 	for frac := 0.0; frac <= 1.0001; frac += 0.1 {
-		f := frac
+		fracs = append(fracs, frac)
+	}
+	// One fleet evaluation per migratable fraction, each an independent
+	// engine cell.
+	results, err := engine.Map(ctx, l.workers, len(fracs), func(_ context.Context, i int) (scenario.MixedResult, error) {
+		f := fracs[i]
 		if f > 1 {
 			f = 1
 		}
-		r, err := scenario.MixedWorkload(l.Set, f, arrivals)
-		if err != nil {
-			return nil, err
-		}
+		return scenario.MixedWorkload(l.Set, f, arrivals)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, frac := range fracs {
 		t.AddRow(fmt.Sprintf("migratable_%.0f%%", frac*100),
-			r.Reduction(), 100*r.Reduction()/l.GlobalMean)
+			results[i].Reduction(), 100*results[i].Reduction()/l.GlobalMean)
 	}
 	t.Notes = append(t.Notes,
 		"paper: reductions scale with the migratable share; ~30% of real fleets are non-migratable interactive VMs")
@@ -43,7 +53,7 @@ const fig11bLength = 24
 
 // Fig11b reproduces Figure 11(b): the emissions increase caused by
 // carbon-intensity forecast errors, for temporal and spatial shifting.
-func (l *Lab) Fig11b() (*Table, error) {
+func (l *Lab) Fig11b(ctx context.Context) (*Table, error) {
 	slack := l.slackFor(figSlackIdeal)
 	arrivals := l.strideArrivals(fig11bLength + slack)
 	if len(arrivals) == 0 {
@@ -55,22 +65,30 @@ func (l *Lab) Fig11b() (*Table, error) {
 		Title:   "Emissions increase vs forecast error (temporal and spatial scheduling)",
 		Columns: []string{"temporal_pct", "spatial_pct"},
 	}
-	for _, errFrac := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+	errFracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	// One error level per cell. Every cell reseeds its generator from
+	// the lab seed alone and pre-splits one child stream per region
+	// (rng.SplitN), so its noise is a pure function of the error level
+	// and never of which worker runs it or in what order.
+	type cell struct{ tPct, sPct float64 }
+	rows, err := engine.Map(ctx, l.workers, len(errFracs), func(_ context.Context, i int) (cell, error) {
+		errFrac := errFracs[i]
 		src := rng.New(l.opts.Sim.Seed ^ 0xe44c)
+		srcs := src.SplitN(len(codes) + 1)
 		// Temporal: schedule each job on its region's noisy trace, pay
 		// the true trace.
 		var tAcc float64
 		tN := 0
-		for _, code := range codes {
+		for ci, code := range codes {
 			tr := l.Set.MustGet(code)
-			noisy, err := scenario.UniformError(tr.CI, errFrac, src.Split())
+			noisy, err := scenario.UniformError(tr.CI, errFrac, srcs[ci])
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			for _, a := range arrivals {
 				impact, err := scenario.TemporalForecast(tr.CI, noisy, a, fig11bLength, slack)
 				if err != nil {
-					return nil, err
+					return cell{}, err
 				}
 				tAcc += impact.IncreaseFrac()
 				tN++
@@ -78,22 +96,27 @@ func (l *Lab) Fig11b() (*Table, error) {
 		}
 
 		// Spatial: ∞-migration chasing the noisy argmin, paying truth.
-		noisySet, err := l.noisySet(errFrac, src.Split())
+		noisySet, err := l.noisySet(errFrac, srcs[len(codes)])
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		var sAcc float64
 		sN := 0
 		for _, a := range l.strideArrivals(fig11bLength) {
 			impact, err := scenario.SpatialForecast(l.Set, noisySet, l.Set.Regions(), a, fig11bLength)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			sAcc += impact.IncreaseFrac()
 			sN++
 		}
-		t.AddRow(fmt.Sprintf("error_%.0f%%", errFrac*100),
-			100*tAcc/float64(tN), 100*sAcc/float64(sN))
+		return cell{100 * tAcc / float64(tN), 100 * sAcc / float64(sN)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, errFrac := range errFracs {
+		t.AddRow(fmt.Sprintf("error_%.0f%%", errFrac*100), rows[i].tPct, rows[i].sPct)
 	}
 	t.Notes = append(t.Notes,
 		"paper: ~10-12% increase at 50% error; CarbonCast-grade forecasts (<14% MAPE) imply ~3% in practice")
@@ -135,7 +158,7 @@ var greenerSteps = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 
 // Fig11c reproduces Figure 11(c): carbon-agnostic vs carbon-aware
 // temporal scheduling in California as the grid adds renewables.
-func (l *Lab) Fig11c() (*Table, error) {
+func (l *Lab) Fig11c(ctx context.Context) (*Table, error) {
 	region := l.exampleRegion()
 	slack := l.slackFor(figSlackIdeal)
 	const length = fig11bLength
@@ -144,28 +167,40 @@ func (l *Lab) Fig11c() (*Table, error) {
 		Title:   fmt.Sprintf("Greener grid, temporal scheduling in %s (g·CO₂eq per job-hour)", region),
 		Columns: []string{"agnostic_g", "aware_g", "gap_g"},
 	}
-	for _, add := range greenerSteps {
+	reg, err := l.regionByCode(region)
+	if err != nil {
+		return nil, err
+	}
+	// One re-simulated grid plus temporal sweep per renewable step; the
+	// per-(region, config) traces land in the process-level cache, so
+	// repeat runs skip the simulation entirely.
+	type cell struct{ agnostic, aware float64 }
+	rows, err := engine.Map(ctx, l.workers, len(greenerSteps), func(_ context.Context, i int) (cell, error) {
 		cfg := l.opts.Sim
-		cfg.ExtraRenewables = add
-		reg, err := l.regionByCode(region)
+		cfg.ExtraRenewables = greenerSteps[i]
+		tr, err := simgrid.GenerateRegionCached(reg, cfg)
 		if err != nil {
-			return nil, err
-		}
-		tr, err := simgrid.GenerateRegion(reg, cfg)
-		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		arrivals := l.arrivals(length + slack)
 		if arrivals < 1 {
-			return nil, fmt.Errorf("core: trace too short for fig11c")
+			return cell{}, fmt.Errorf("core: trace too short for fig11c")
 		}
 		costs, err := temporal.Sweep(tr.CI, length, slack, arrivals)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		agnostic := stats.Mean(costs.Baseline) / length
-		aware := stats.Mean(costs.Interrupted) / length
-		t.AddRow(fmt.Sprintf("renew_+%.0f%%", add*100), agnostic, aware, agnostic-aware)
+		return cell{
+			agnostic: stats.Mean(costs.Baseline) / length,
+			aware:    stats.Mean(costs.Interrupted) / length,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, add := range greenerSteps {
+		t.AddRow(fmt.Sprintf("renew_+%.0f%%", add*100),
+			rows[i].agnostic, rows[i].aware, rows[i].agnostic-rows[i].aware)
 	}
 	t.Notes = append(t.Notes,
 		"paper: both curves fall as the grid greens, and the carbon-aware advantage over carbon-agnostic shrinks")
@@ -175,7 +210,7 @@ func (l *Lab) Fig11c() (*Table, error) {
 // Fig11d reproduces Figure 11(d): carbon-agnostic vs carbon-aware
 // (∞-migration) spatial scheduling for California jobs as the whole
 // world adds renewables.
-func (l *Lab) Fig11d() (*Table, error) {
+func (l *Lab) Fig11d(ctx context.Context) (*Table, error) {
 	region := l.exampleRegion()
 	const length = fig11bLength
 	t := &Table{
@@ -183,10 +218,14 @@ func (l *Lab) Fig11d() (*Table, error) {
 		Title:   fmt.Sprintf("Greener grid, spatial scheduling from %s (g·CO₂eq per job-hour)", region),
 		Columns: []string{"agnostic_g", "aware_g", "gap_g"},
 	}
+	// Each renewable step re-simulates the whole catalog; the engine
+	// fans the per-region simulations out inside GenerateCached, so the
+	// outer step loop stays serial to keep concurrency bounded by
+	// l.workers.
 	for _, add := range greenerSteps {
 		cfg := l.opts.Sim
 		cfg.ExtraRenewables = add
-		set, err := simgrid.Generate(l.Regions, cfg)
+		set, err := simgrid.GenerateCached(ctx, l.Regions, cfg, l.workers)
 		if err != nil {
 			return nil, err
 		}
@@ -236,7 +275,7 @@ var fig12Destinations = []string{
 // Fig12 reproduces Figure 12: the spatial and temporal decomposition
 // of combined shifting per destination region, for one-year and
 // 24-hour slack.
-func (l *Lab) Fig12() (*Table, error) {
+func (l *Lab) Fig12(ctx context.Context) (*Table, error) {
 	const length = 24
 	ideal := l.slackFor(figSlackIdeal)
 	practical := l.slackFor(figSlackPractical)
@@ -263,15 +302,25 @@ func (l *Lab) Fig12() (*Table, error) {
 			present = present[:4]
 		}
 	}
-	for _, dest := range present {
-		ri, err := scenario.Combined(l.Set, dest, origins, length, ideal, arrivals)
+	// One destination region per cell; each evaluates the combined
+	// policy at both slacks over every (origin, arrival) pair.
+	type cell struct{ ideal, practical scenario.CombinedResult }
+	rows, err := engine.Map(ctx, l.workers, len(present), func(_ context.Context, i int) (cell, error) {
+		ri, err := scenario.Combined(l.Set, present[i], origins, length, ideal, arrivals)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		rp, err := scenario.Combined(l.Set, dest, origins, length, practical, arrivals)
+		rp, err := scenario.Combined(l.Set, present[i], origins, length, practical, arrivals)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
+		return cell{ri, rp}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, dest := range present {
+		ri, rp := rows[i].ideal, rows[i].practical
 		fl := float64(length)
 		t.AddRow(dest,
 			ri.SpatialSaving/fl,

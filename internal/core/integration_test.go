@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -77,11 +78,11 @@ func TestSeedChangesResultsButNotShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := mini(t).Fig5a()
+	a, err := mini(t).Fig5a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := other.Fig5a()
+	b, err := other.Fig5a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,10 +11,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
+	"carbonshift/internal/engine"
 	"carbonshift/internal/latency"
 	"carbonshift/internal/regions"
 	"carbonshift/internal/simgrid"
@@ -39,6 +40,12 @@ type Options struct {
 	// sweeps always use every arrival. Zero means a default that keeps
 	// the full run under a minute.
 	Stride int
+	// Workers bounds the experiment engine's concurrency: how many
+	// independent (region × policy × scenario) cells run at once, both
+	// during trace generation and inside each experiment. Zero means
+	// one worker per CPU (engine.DefaultWorkers); 1 forces the serial
+	// reference path. Results are byte-identical for every setting.
+	Workers int
 }
 
 // Lab owns the dataset and caches shared computations.
@@ -56,6 +63,7 @@ type Lab struct {
 
 	arrivalSpan int
 	stride      int
+	workers     int
 
 	mu    sync.Mutex
 	cells map[cellKey]temporal.MeanSavings
@@ -70,11 +78,18 @@ type cellKey struct {
 
 // NewLab generates the dataset and prepares shared artifacts.
 func NewLab(opts Options) (*Lab, error) {
+	return NewLabCtx(context.Background(), opts)
+}
+
+// NewLabCtx is NewLab with a cancellation context: trace generation
+// fans out across opts.Workers goroutines through the process-level
+// simgrid cache, and cancelling ctx aborts it.
+func NewLabCtx(ctx context.Context, opts Options) (*Lab, error) {
 	regs := opts.Regions
 	if regs == nil {
 		regs = regions.All()
 	}
-	set, err := simgrid.Generate(regs, opts.Sim)
+	set, err := simgrid.GenerateCached(ctx, regs, opts.Sim, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: generating traces: %w", err)
 	}
@@ -94,6 +109,7 @@ func NewLab(opts Options) (*Lab, error) {
 		GlobalMean:  set.GlobalMean(),
 		arrivalSpan: span,
 		stride:      stride,
+		workers:     opts.Workers,
 		cells:       make(map[cellKey]temporal.MeanSavings),
 		years:       make(map[int]*trace.Set),
 	}
@@ -195,43 +211,33 @@ func (l *Lab) TemporalCell(region string, length, slack int) (temporal.MeanSavin
 	return ms, nil
 }
 
-// FillTemporalGrid computes all (region, length, slack) cells in
-// parallel across regions, warming the cache for the Figure 7–10
-// family in one pass.
-func (l *Lab) FillTemporalGrid(lengths, slacks []int) error {
-	codes := l.Set.Regions()
-	type job struct{ code string }
-	work := make(chan string, len(codes))
-	for _, c := range codes {
-		work <- c
-	}
-	close(work)
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(codes) {
-		workers = len(codes)
-	}
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for code := range work {
-				for _, slack := range slacks {
-					for _, length := range lengths {
-						if _, err := l.TemporalCell(code, length, slack); err != nil {
-							errs <- fmt.Errorf("core: sweep %s L=%d s=%d: %w", code, length, slack, err)
-							return
-						}
-					}
-				}
+// FillTemporalGrid computes all (region, length, slack) cells through
+// the experiment engine, warming the cache for the Figure 7–10 family
+// in one pass.
+func (l *Lab) FillTemporalGrid(ctx context.Context, lengths, slacks []int) error {
+	var cells []cellKey
+	for _, code := range l.Set.Regions() {
+		for _, slack := range slacks {
+			for _, length := range lengths {
+				cells = append(cells, cellKey{code, length, slack})
 			}
-		}()
+		}
 	}
-	wg.Wait()
-	close(errs)
-	return <-errs
+	return l.warmCells(ctx, cells)
+}
+
+// warmCells fans the given temporal cells across the lab's worker pool
+// so later serial reductions over them are pure cache hits. Cell values
+// are independent of evaluation order, so the warmed cache — and every
+// table assembled from it — is byte-identical for any worker count.
+func (l *Lab) warmCells(ctx context.Context, cells []cellKey) error {
+	return engine.ForEach(ctx, l.workers, len(cells), func(_ context.Context, i int) error {
+		c := cells[i]
+		if _, err := l.TemporalCell(c.region, c.length, c.slack); err != nil {
+			return fmt.Errorf("core: sweep %s L=%d s=%d: %w", c.region, c.length, c.slack, err)
+		}
+		return nil
+	})
 }
 
 // MeanOver returns the mean over the listed regions of f(region).

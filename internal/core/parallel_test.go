@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"carbonshift/internal/regions"
+)
+
+// parallelLab builds a mini lab with the given engine worker bound,
+// sharing the mini lab's simulator config (and therefore the
+// process-level trace cache).
+func parallelLab(t *testing.T, workers int) *Lab {
+	t.Helper()
+	codes := []string{"SE", "US-CA", "US-VA", "IN-WE", "HK", "DE", "FR",
+		"AU-NSW", "BR-CS", "ZA", "CA-ON", "NL"}
+	var regs []regions.Region
+	for _, c := range codes {
+		regs = append(regs, regions.MustByCode(c))
+	}
+	l, err := NewLab(Options{
+		Sim:         miniLabSim(2),
+		Regions:     regs,
+		ArrivalSpan: 1000,
+		Stride:      211,
+		Workers:     workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestWorkersDeterminism is the engine's core guarantee: every
+// experiment's output is byte-identical between the serial reference
+// path (-workers 1) and the fanned-out pool (-workers 8).
+func TestWorkersDeterminism(t *testing.T) {
+	serial := parallelLab(t, 1)
+	parallel := parallelLab(t, 8)
+	ctx := context.Background()
+	for _, e := range Experiments() {
+		st, err := e.Run(ctx, serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", e.ID, err)
+		}
+		pt, err := e.Run(ctx, parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.ID, err)
+		}
+		if st.String() != pt.String() {
+			t.Errorf("%s: rendered tables differ between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				e.ID, st.String(), pt.String())
+		}
+		var sb, pb bytes.Buffer
+		if err := st.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := pt.WriteCSV(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Errorf("%s: CSV output differs between workers=1 and workers=8", e.ID)
+		}
+	}
+}
+
+// TestExperimentCancellation checks that a cancelled context aborts
+// the engine-driven experiments instead of running them to completion.
+func TestExperimentCancellation(t *testing.T) {
+	l := parallelLab(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Every engine-driven experiment must refuse to run; the IDs cover
+	// the global scans, the temporal family, the what-ifs, and the
+	// extensions.
+	for _, id := range []string{"fig3a", "fig4", "fig7", "fig10d", "fig11a", "fig11b", "fig12", "ext-forecast", "ext-overhead"} {
+		e, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(ctx, l); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s under cancelled context: err = %v, want context.Canceled", id, err)
+		}
+	}
+}
+
+// TestNewLabCtxCancellation checks that dataset generation honours the
+// context.
+func TestNewLabCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A seed no other test uses, so nothing is already cached.
+	if _, err := NewLabCtx(ctx, Options{Sim: miniLabSim(981), Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("NewLabCtx under cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFillTemporalGridCancellation covers the warmed-cache path shared
+// by the Figure 7–10 family.
+func TestFillTemporalGridCancellation(t *testing.T) {
+	l := parallelLab(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.FillTemporalGrid(ctx, []int{1}, []int{24}); !errors.Is(err, context.Canceled) {
+		t.Errorf("FillTemporalGrid under cancelled context: err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -14,8 +15,15 @@ type Experiment struct {
 	Figure string
 	// Title summarizes the experiment.
 	Title string
-	// Run executes the experiment against a Lab.
-	Run func(l *Lab) (*Table, error)
+	// run executes the experiment against a Lab (receiver-first because
+	// the registry stores method expressions).
+	run func(l *Lab, ctx context.Context) (*Table, error)
+}
+
+// Run executes the experiment against the Lab, fanning its independent
+// cells across the lab's worker pool. Cancelling ctx aborts the run.
+func (e Experiment) Run(ctx context.Context, l *Lab) (*Table, error) {
+	return e.run(l, ctx)
 }
 
 // Experiments lists every reproduction in presentation order.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -10,8 +11,8 @@ import (
 // WriteReport runs every experiment and emits a self-contained
 // markdown report: dataset calibration, then each experiment's table
 // and notes. It is the machine-regenerated companion to
-// EXPERIMENTS.md.
-func (l *Lab) WriteReport(w io.Writer) error {
+// EXPERIMENTS.md. Cancelling ctx aborts the in-flight experiment.
+func (l *Lab) WriteReport(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "# carbonshift experiment report\n\n")
 	fmt.Fprintf(w, "Generated %s over %d regions, %d hourly samples starting %s.\n\n",
 		time.Now().UTC().Format(time.RFC3339), l.Set.Size(), l.Set.Len(),
@@ -21,7 +22,7 @@ func (l *Lab) WriteReport(w io.Writer) error {
 
 	for _, e := range Experiments() {
 		start := time.Now()
-		tbl, err := e.Run(l)
+		tbl, err := e.Run(ctx, l)
 		if err != nil {
 			return fmt.Errorf("core: report: %s: %w", e.ID, err)
 		}

@@ -1,0 +1,152 @@
+// Package engine is the repository's concurrent experiment engine: a
+// context-aware, bounded worker pool that fans independent cells of an
+// experiment — one (region × policy × scenario) combination at a time —
+// across goroutines while keeping results byte-identical to a serial
+// run.
+//
+// Determinism is the design constraint everything else bends around:
+//
+//   - Map writes result i of fn(i) into slot i of the output slice, so
+//     the caller's reduction visits results in submission order no
+//     matter which worker computed them or when it finished.
+//   - On failure the pool reports the error of the *lowest-index*
+//     failing cell, which is exactly the error a serial loop would have
+//     returned, so error paths are order-invariant too.
+//   - Workers claim indices from a shared counter; no cell's work may
+//     depend on another cell's side effects. Cells that need randomness
+//     take a pre-split rng.Source (see rng.SplitN) chosen by index.
+//
+// A worker bound of 1 bypasses the pool entirely and runs the plain
+// serial loop, which is what the `-workers 1` CLI setting and the
+// determinism tests use as the reference.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker bound used when the caller passes 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most `workers`
+// goroutines and blocks until all cells finish or one fails. A worker
+// bound <= 0 means DefaultWorkers; a bound of 1 runs serially on the
+// calling goroutine. The first error — "first" meaning the genuinely
+// failing cell with the lowest index, matching what a serial loop
+// would report — cancels the context handed to the remaining cells and
+// is returned. Cancellation errors (context.Canceled/DeadlineExceeded)
+// never displace a genuine cell error; they are returned only when the
+// run produced nothing worse, e.g. when the parent context was
+// cancelled.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n < 0 {
+		return fmt.Errorf("engine: negative cell count %d", n)
+	}
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		// Genuine cell errors and cancellation-propagated ones are
+		// tracked separately: once a cell fails, the pool cancels the
+		// derived context, and still-in-flight lower-index cells may
+		// then fail with context.Canceled — which must not displace the
+		// real error a serial loop would have reported.
+		cellIdx = n
+		cellErr error
+		ctxErr  error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+		} else if i < cellIdx {
+			cellIdx, cellErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(i, err)
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if cellErr != nil {
+		return cellErr
+	}
+	return ctxErr
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most `workers`
+// goroutines and returns the n results in index order. Ordering — and
+// therefore any floating-point reduction the caller performs over the
+// returned slice — is identical for every worker count. On error the
+// partial results are discarded and the lowest-index cell error is
+// returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("engine: negative cell count %d", n)
+	}
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

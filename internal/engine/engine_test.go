@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		out, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNegative(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+	if _, err := Map(context.Background(), 4, -1, func(_ context.Context, i int) (int, error) {
+		return 0, nil
+	}); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if err := ForEach(context.Background(), 4, -1, func(_ context.Context, i int) error {
+		return nil
+	}); err == nil {
+		t.Fatal("negative n accepted by ForEach")
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), workers, 60, func(_ context.Context, i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent cells, bound is %d", p, workers)
+	}
+}
+
+// The reported error must be the lowest-index failure — what a serial
+// loop would have returned — regardless of worker count.
+func TestLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(context.Background(), workers, 100, func(_ context.Context, i int) error {
+			if i == 7 || i == 60 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want cell 7", workers, err)
+		}
+	}
+}
+
+// A genuine cell error must win over a lower-index cell that fails
+// with context.Canceled only because the pool cancelled it.
+func TestGenuineErrorBeatsPropagatedCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 2, 3, func(ctx context.Context, i int) error {
+		switch i {
+		case 0:
+			// Blocks until cell 2's failure cancels the pool, then
+			// reports the propagated cancellation at a lower index.
+			<-ctx.Done()
+			return ctx.Err()
+		case 2:
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the genuine cell error", err)
+	}
+}
+
+func TestErrorCancelsRemainingCells(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 2, 1000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failure must cancel the pool: the vast majority of the 1000
+	// cells never start.
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d cells ran despite the failure", n)
+	}
+}
+
+func TestParentCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEach(ctx, workers, 1000, func(_ context.Context, i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: all %d cells ran despite cancellation", workers, n)
+		}
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 10, func(_ context.Context, i int) error {
+		t.Error("cell ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNilContext(t *testing.T) {
+	out, err := Map(nil, 2, 4, func(ctx context.Context, i int) (int, error) {
+		if ctx == nil {
+			return 0, errors.New("nil ctx passed to cell")
+		}
+		return i, nil
+	})
+	if err != nil || len(out) != 4 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+// Concurrent Map calls over a shared accumulator must be safe when the
+// caller confines writes to distinct indices (the engine's contract).
+func TestConcurrentMaps(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := Map(context.Background(), 4, 32, func(_ context.Context, i int) (int, error) {
+				return i, nil
+			})
+			if err != nil || len(out) != 32 {
+				t.Errorf("out=%d err=%v", len(out), err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}

@@ -43,6 +43,19 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// SplitN derives n independent child generators in one serial pass.
+// Child i's stream is a pure function of r's state at the call and of
+// i, never of which goroutine later consumes it, so pre-splitting with
+// SplitN before fanning cells out to the engine's worker pool keeps
+// stochastic experiments byte-identical for every worker count.
+func (r *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

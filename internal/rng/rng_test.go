@@ -225,3 +225,31 @@ func BenchmarkNorm(b *testing.B) {
 		_ = r.Norm(0, 1)
 	}
 }
+
+func TestSplitNMatchesSequentialSplits(t *testing.T) {
+	a, b := New(9), New(9)
+	children := a.SplitN(5)
+	if len(children) != 5 {
+		t.Fatalf("SplitN returned %d children", len(children))
+	}
+	for i := 0; i < 5; i++ {
+		want := b.Split()
+		got := children[i]
+		for j := 0; j < 16; j++ {
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("child %d sample %d: %d vs %d", i, j, g, w)
+			}
+		}
+	}
+}
+
+func TestSplitNChildrenIndependent(t *testing.T) {
+	children := New(10).SplitN(3)
+	// Distinct children must not share a stream.
+	if children[0].Uint64() == children[1].Uint64() && children[1].Uint64() == children[2].Uint64() {
+		t.Fatal("SplitN children look identical")
+	}
+	if len(New(10).SplitN(0)) != 0 {
+		t.Fatal("SplitN(0) not empty")
+	}
+}

@@ -123,10 +123,7 @@ func Generate(regs []regions.Region, cfg Config) (*trace.Set, error) {
 	cfg = cfg.withDefaults()
 	traces := make([]*trace.Trace, 0, len(regs))
 	for _, r := range regs {
-		// Each region draws from a generator derived from its code so
-		// the per-region stream is independent of catalog order.
-		child := rng.New(cfg.Seed ^ hashCode(r.Code))
-		traces = append(traces, simulate(r, cfg, child))
+		traces = append(traces, simulate(r, cfg, rngFor(r.Code, cfg)))
 	}
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("simgrid: no regions given")
@@ -145,7 +142,14 @@ func GenerateRegion(r regions.Region, cfg Config) (*trace.Trace, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	return simulate(r, cfg, rng.New(cfg.Seed^hashCode(r.Code))), nil
+	return simulate(r, cfg, rngFor(r.Code, cfg)), nil
+}
+
+// rngFor derives a region's generator from its code and the seed alone,
+// so the per-region stream is independent of catalog order and of which
+// worker goroutine simulates the region.
+func rngFor(code string, cfg Config) *rng.Source {
+	return rng.New(cfg.Seed ^ hashCode(code))
 }
 
 func hashCode(s string) uint64 {

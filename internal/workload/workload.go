@@ -127,8 +127,17 @@ type Distribution struct {
 // NewDistribution builds a distribution from explicit weights. Weights
 // must be non-negative with a positive sum; they are normalized to 1.
 func NewDistribution(name string, weights map[int]float64) (Distribution, error) {
+	lengths := make([]int, 0, len(weights))
+	for l := range weights {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	// Sum in ascending length order: the normalization constant — and
+	// with it every downstream result — must be bit-identical across
+	// runs, which map iteration order would break.
 	var total float64
-	for l, w := range weights {
+	for _, l := range lengths {
+		w := weights[l]
 		if l <= 0 {
 			return Distribution{}, fmt.Errorf("workload: non-positive length %d in distribution %s", l, name)
 		}
@@ -171,22 +180,25 @@ func (d Distribution) Lengths() []int {
 
 // WeightedMean combines a per-length metric into the distribution's
 // fleet-level value: Σ weight(l) · value(l). Lengths absent from values
-// contribute zero.
+// contribute zero. Summation runs in ascending length order so the
+// floating-point result is identical on every call (map iteration
+// order would randomize the low bits).
 func (d Distribution) WeightedMean(values map[int]float64) float64 {
 	var out float64
-	for l, w := range d.weights {
-		out += w * values[l]
+	for _, l := range d.Lengths() {
+		out += d.weights[l] * values[l]
 	}
 	return out
 }
 
 // LongJobShare returns the weight carried by jobs strictly longer than
-// the given number of hours.
+// the given number of hours. Like WeightedMean, it sums in ascending
+// length order for bit-stable results.
 func (d Distribution) LongJobShare(hours int) float64 {
 	var out float64
-	for l, w := range d.weights {
+	for _, l := range d.Lengths() {
 		if l > hours {
-			out += w
+			out += d.weights[l]
 		}
 	}
 	return out
