@@ -15,12 +15,16 @@ package carbonshift_test
 import (
 	"context"
 	"math"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"carbonshift/internal/core"
 	"carbonshift/internal/fft"
 	"carbonshift/internal/rng"
+	"carbonshift/internal/sched"
+	"carbonshift/internal/schedd"
 	"carbonshift/internal/simgrid"
 	"carbonshift/internal/spatial"
 	"carbonshift/internal/stats"
@@ -301,6 +305,100 @@ func BenchmarkAblation_FFTPaddedRadix2(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fft.FFT(padded)
+	}
+}
+
+// --- Online scheduling (internal/schedd + the incremental Fleet) ---
+
+// schedWorld builds the two-region diurnal world used by the sched and
+// schedd tests, sized for year-scale stepping.
+func schedWorld(b *testing.B, hours int) (*trace.Set, []sched.Cluster) {
+	b.Helper()
+	t0 := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	clean := make([]float64, hours)
+	dirty := make([]float64, hours)
+	for h := 0; h < hours; h++ {
+		clean[h] = 20
+		dirty[h] = 200 + 600*float64(h%24)/24
+	}
+	set, err := trace.NewSet([]*trace.Trace{
+		trace.New("CLEAN", t0, clean),
+		trace.New("DIRTY", t0, dirty),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set, []sched.Cluster{{Region: "CLEAN", Slots: 100}, {Region: "DIRTY", Slots: 100}}
+}
+
+// BenchmarkFleetStep measures one incremental tick of the simulator
+// with a realistic outstanding-job population — the unit of work behind
+// every schedd request and every hour of sched.Run.
+func BenchmarkFleetStep(b *testing.B) {
+	const hours = 24 * 365
+	set, cl := schedWorld(b, hours)
+	jobs, err := sched.GenerateJobs(sched.WorkloadSpec{
+		Jobs: 2000, ArrivalSpan: hours - 10*24, SlackHours: 48,
+		InterruptibleFrac: 0.8, MigratableFrac: 0.5,
+		Origins: []string{"CLEAN", "DIRTY"}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkFleet := func() *sched.Fleet {
+		f, err := sched.NewFleet(set, cl, sched.SpatioTemporal{Percentile: 40, Window: 48}, hours)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Submit(jobs...); err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	fleet := mkFleet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fleet.Done() {
+			b.StopTimer()
+			fleet = mkFleet()
+			b.StartTimer()
+		}
+		if err := fleet.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheddSubmit measures the full HTTP submission path — JSON
+// over a real TCP connection into the fleet — which bounds the job
+// throughput cmd/loadgen can drive.
+func BenchmarkScheddSubmit(b *testing.B) {
+	set, cl := schedWorld(b, 24*30)
+	srv, err := schedd.New(set, cl, schedd.Config{
+		Policy:  sched.FIFO{},
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+	}, schedd.WithClock(func() time.Time { return set.Start() }))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := schedd.NewClient(ts.URL, ts.Client())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := schedd.JobRequest{
+		Origin: "CLEAN", LengthHours: 4, SlackHours: 48,
+		Interruptible: true, Migratable: true,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Submit(ctx, req); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

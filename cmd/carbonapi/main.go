@@ -8,16 +8,24 @@
 //	curl localhost:8080/v1/regions
 //	curl localhost:8080/v1/carbon-intensity/SE/latest
 //	curl 'localhost:8080/v1/carbon-intensity/US-CA/forecast?hours=24'
+//	curl 'localhost:8080/v1/carbon-intensity/batch?regions=DE,SE,US-CA'
+//
+// SIGINT/SIGTERM shuts the server down gracefully, draining in-flight
+// requests.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"carbonshift/internal/carbonapi"
+	"carbonshift/internal/serve"
 	"carbonshift/internal/simgrid"
 )
 
@@ -29,6 +37,9 @@ func main() {
 		start   = flag.Int("start-hour", 24*14, "trace hour mapped to process start (leaves forecast warmup)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fmt.Fprintln(os.Stderr, "carbonapi: generating 123-region dataset...")
 	set, err := simgrid.GenerateAll(simgrid.Config{Seed: *seed})
@@ -52,8 +63,9 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := server.ListenAndServe(); err != nil {
+	if err := serve.ListenAndServe(ctx, server, serve.DefaultGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "carbonapi:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "carbonapi: shut down cleanly")
 }

@@ -1,0 +1,124 @@
+// Command schedd runs the online carbon-aware scheduling service: jobs
+// submitted over HTTP are placed by the selected policy against the
+// replayed grid, with the same engine — and byte-identical decisions —
+// as the cmd/carbonsched batch simulation.
+//
+// Usage:
+//
+//	schedd -addr :9090 -regions DE,SE,US-CA -policy carbon-gate
+//	curl -X POST localhost:9090/v1/jobs -d '{"origin":"DE","length_hours":6,"slack_hours":24,"interruptible":true}'
+//	curl localhost:9090/v1/jobs/0
+//	curl localhost:9090/v1/stats
+//
+// On SIGINT/SIGTERM the HTTP server drains in-flight requests, then the
+// fleet runs forward until every admitted job is resolved, and the
+// final scheduling outcome is printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"carbonshift/internal/regions"
+	"carbonshift/internal/sched"
+	"carbonshift/internal/schedd"
+	"carbonshift/internal/serve"
+	"carbonshift/internal/simgrid"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":9090", "listen address")
+		regionList = flag.String("regions", "DE,SE,US-CA", "comma-separated cluster regions")
+		slots      = flag.Int("slots", 30, "slots per regional cluster")
+		days       = flag.Int("days", 60, "replay horizon in days")
+		policyName = flag.String("policy", "carbon-gate",
+			"scheduling policy: "+strings.Join(schedd.PolicyNames(), ", "))
+		percentile = flag.Float64("percentile", 35, "gate percentile for the gated policies")
+		window     = flag.Int("window", 168, "lookback window in hours for carbon-gate")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		speedup    = flag.Float64("speedup", 3600, "trace seconds per wall second (3600 = 1h/s)")
+		maxJobs    = flag.Int("max-jobs", schedd.DefaultMaxJobs, "bound on total jobs retained in memory")
+		maxQueue   = flag.Int("max-queue", schedd.DefaultMaxQueue, "bound on outstanding (unresolved) jobs")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	policy, err := schedd.PolicyByName(*policyName, *percentile, *window)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(2)
+	}
+
+	var regs []regions.Region
+	var clusters []sched.Cluster
+	for _, code := range strings.Split(*regionList, ",") {
+		code = strings.TrimSpace(code)
+		r, ok := regions.ByCode(code)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "schedd: unknown region %q\n", code)
+			os.Exit(2)
+		}
+		regs = append(regs, r)
+		clusters = append(clusters, sched.Cluster{Region: code, Slots: *slots})
+	}
+	horizon := *days * 24
+
+	fmt.Fprintf(os.Stderr, "schedd: generating %d-region traces...\n", len(regs))
+	set, err := simgrid.GenerateCached(ctx, regs, simgrid.Config{Seed: *seed, Hours: horizon}, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+
+	boot := time.Now()
+	clock := func() time.Time {
+		simElapsed := time.Duration(float64(time.Since(boot)) * *speedup)
+		return set.Start().Add(simElapsed)
+	}
+	srv, err := schedd.New(set, clusters, schedd.Config{
+		Policy:   policy,
+		Horizon:  horizon,
+		MaxJobs:  *maxJobs,
+		MaxQueue: *maxQueue,
+		Seed:     *seed,
+	}, schedd.WithClock(clock))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "schedd: %s policy over %d regions x %d slots on %s (replay speedup %.0fx)\n",
+		policy.Name(), len(clusters), *slots, *addr, *speedup)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := serve.ListenAndServe(ctx, server, serve.DefaultGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+
+	// HTTP is down; run the world forward so every admitted job is
+	// accounted for before exit.
+	fmt.Fprintln(os.Stderr, "schedd: draining fleet...")
+	res, err := srv.Drain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"schedd: drained: %d jobs, %d completed, %d missed, %.1f kg CO2eq, %.1f%% utilization\n",
+		len(res.Outcomes), res.Completed, res.Missed,
+		res.TotalEmissions/1000, 100*res.Utilization())
+}

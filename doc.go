@@ -27,6 +27,23 @@
 //     generated exactly once per process no matter how many
 //     experiments, labs, or benchmark iterations ask for it.
 //
+// # Online scheduling
+//
+// Beyond the offline experiments, the repository runs as a live
+// system. internal/sched's incremental Fleet (Submit/Step/Snapshot) is
+// the engine behind both the batch sched.Run and internal/schedd, the
+// online scheduling service: cmd/schedd serves job submission, status,
+// and fleet statistics over HTTP against a replayed grid clock, with
+// policy selection, backpressure bounds, and a graceful drain on
+// SIGINT; cmd/loadgen benchmarks it with a deterministic workload
+// stream and reports throughput, latency percentiles, and the carbon
+// saving versus an offline FIFO baseline. cmd/carbonapi is the
+// matching carbon-information API (Electricity Maps-style), including
+// a batch endpoint for multi-region consumers. The online and offline
+// paths are provably the same scheduler: an equivalence test asserts
+// byte-identical placements and emissions between an HTTP-driven run
+// and sched.Run.
+//
 // Determinism is load-bearing: stochastic cells derive their random
 // streams by pre-splitting an explicitly seeded generator
 // (internal/rng.SplitN), never from worker identity or scheduling

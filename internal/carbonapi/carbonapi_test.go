@@ -289,6 +289,163 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
+func TestHealthz(t *testing.T) {
+	_, client := startServer(t, testSet(t, 100), 50)
+	if err := client.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchLatestOnly(t *testing.T) {
+	set := testSet(t, 100)
+	_, client := startServer(t, set, 42)
+	got, err := client.Batch(context.Background(), []string{"AA", "BB"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("regions = %d", len(got))
+	}
+	for i, code := range []string{"AA", "BB"} {
+		if got[i].Region != code {
+			t.Fatalf("region %d = %q, want %q", i, got[i].Region, code)
+		}
+		want := set.MustGet(code).At(42)
+		if math.Abs(got[i].Latest.CarbonIntensity-want) > 1e-9 {
+			t.Fatalf("%s latest = %v, want %v", code, got[i].Latest.CarbonIntensity, want)
+		}
+		if got[i].History != nil {
+			t.Fatalf("%s has history without hours param", code)
+		}
+	}
+}
+
+func TestBatchWithHistory(t *testing.T) {
+	set := testSet(t, 200)
+	_, client := startServer(t, set, 100)
+	got, err := client.Batch(context.Background(), []string{"BB", "AA"}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order follows the request, not the catalog.
+	if got[0].Region != "BB" || got[1].Region != "AA" {
+		t.Fatalf("order = %q, %q", got[0].Region, got[1].Region)
+	}
+	for _, br := range got {
+		if len(br.History) != 24 {
+			t.Fatalf("%s history = %d points", br.Region, len(br.History))
+		}
+		if !br.History[0].Timestamp.Equal(t0.Add(76 * time.Hour)) {
+			t.Fatalf("%s history starts at %v", br.Region, br.History[0].Timestamp)
+		}
+		want := set.MustGet(br.Region).At(76)
+		if math.Abs(br.History[0].CarbonIntensity-want) > 1e-9 {
+			t.Fatalf("%s history[0] = %v, want %v", br.Region, br.History[0].CarbonIntensity, want)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ts, client := startServer(t, testSet(t, 100), 50)
+	if _, err := client.Batch(context.Background(), []string{"AA", "NOPE"}, 0); err == nil ||
+		!strings.Contains(err.Error(), "unknown region") {
+		t.Errorf("unknown region: err = %v", err)
+	}
+	if _, err := client.Batch(context.Background(), nil, 0); err == nil {
+		t.Error("empty region list accepted client-side")
+	}
+	resp, err := http.Get(ts.URL + "/v1/carbon-intensity/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing regions param: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/carbon-intensity/batch?regions=AA&hours=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("hours=0: status %d", resp.StatusCode)
+	}
+}
+
+// --- Client error paths against misbehaving servers ---
+
+// errClient points a Client at an arbitrary handler.
+func errClient(t *testing.T, handler http.HandlerFunc) *Client {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+func TestClientNon2xxWithErrorBody(t *testing.T) {
+	client := errClient(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "grid is down"})
+	})
+	_, err := client.Latest(context.Background(), "AA")
+	if err == nil || !strings.Contains(err.Error(), "grid is down") ||
+		!strings.Contains(err.Error(), "503") {
+		t.Fatalf("err = %v, want status and server message", err)
+	}
+}
+
+func TestClientNon2xxPlainBody(t *testing.T) {
+	client := errClient(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gateway exploded", http.StatusBadGateway)
+	})
+	_, err := client.Regions(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "unexpected status") {
+		t.Fatalf("err = %v, want unexpected-status error", err)
+	}
+}
+
+func TestClientMalformedJSON(t *testing.T) {
+	client := errClient(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"regions": [truncated`))
+	})
+	_, err := client.Regions(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "decoding response") {
+		t.Fatalf("err = %v, want decoding error", err)
+	}
+	_, err = client.Batch(context.Background(), []string{"AA"}, 0)
+	if err == nil || !strings.Contains(err.Error(), "decoding response") {
+		t.Fatalf("batch err = %v, want decoding error", err)
+	}
+}
+
+func TestClientCancellationMidRequest(t *testing.T) {
+	started := make(chan struct{})
+	client := errClient(t, func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-r.Context().Done() // hang until the client gives up
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.History(ctx, "AA", 24)
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "context canceled") {
+			t.Fatalf("err = %v, want context cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request never returned")
+	}
+}
+
 func BenchmarkLatestEndpoint(b *testing.B) {
 	a := make([]float64, 1000)
 	for i := range a {

@@ -2,11 +2,12 @@ package carbonapi
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
+	"strings"
+
+	"carbonshift/internal/httpx"
 )
 
 // Client is a typed client for the carbon-information API.
@@ -67,29 +68,35 @@ func (c *Client) Forecast(ctx context.Context, region string, hours int) ([]Poin
 	return out.Points, nil
 }
 
+// Batch returns every requested region's current intensity — and, when
+// hours > 0, its trailing history — in a single round trip. Multi-region
+// policies (load balancers, spatial schedulers) should prefer it over
+// one Latest call per region per decision.
+func (c *Client) Batch(ctx context.Context, regions []string, hours int) ([]BatchRegion, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("carbonapi: no regions requested")
+	}
+	var out BatchResponse
+	path := "/v1/carbon-intensity/batch?regions=" + url.QueryEscape(strings.Join(regions, ","))
+	if hours > 0 {
+		path += fmt.Sprintf("&hours=%d", hours)
+	}
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out.Regions, nil
+}
+
+// Healthz reports server liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	var out map[string]string
+	return c.get(ctx, "/healthz", &out)
+}
+
 func (c *Client) get(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return fmt.Errorf("carbonapi: building request: %w", err)
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("carbonapi: %w", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return fmt.Errorf("carbonapi: reading response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		var apiErr ErrorResponse
-		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("carbonapi: %s: %s", resp.Status, apiErr.Error)
-		}
-		return fmt.Errorf("carbonapi: unexpected status %s", resp.Status)
-	}
-	if err := json.Unmarshal(body, out); err != nil {
-		return fmt.Errorf("carbonapi: decoding response: %w", err)
-	}
-	return nil
+	return httpx.DoJSON(c.hc, req, "carbonapi", out)
 }

@@ -9,6 +9,13 @@
 //	GET /v1/carbon-intensity/{region}/latest          current intensity
 //	GET /v1/carbon-intensity/{region}/history?hours=N trailing window
 //	GET /v1/carbon-intensity/{region}/forecast?hours=N model forecast
+//	GET /v1/carbon-intensity/batch?regions=A,B&hours=N multi-region snapshot
+//	GET /healthz                                      liveness
+//
+// The batch endpoint serves multi-region consumers (load balancers,
+// spatial schedulers) that would otherwise issue one request per region
+// per decision: one round trip returns every region's current intensity
+// and, when hours is given, its trailing window.
 //
 // "Now" is injectable, so the server can replay the dataset at any
 // speed; the forecast endpoint only ever sees history up to now — the
@@ -16,13 +23,14 @@
 package carbonapi
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"carbonshift/internal/forecast"
+	"carbonshift/internal/httpx"
 	"carbonshift/internal/trace"
 )
 
@@ -56,6 +64,21 @@ type SeriesResponse struct {
 // RegionsResponse is the /regions payload.
 type RegionsResponse struct {
 	Regions []string `json:"regions"`
+}
+
+// BatchRegion is one region's slice of the /batch payload.
+type BatchRegion struct {
+	Region string `json:"region"`
+	Latest Point  `json:"latest"`
+	// History holds the trailing window (oldest first) when the request
+	// asked for one; it excludes the current hour.
+	History []Point `json:"history,omitempty"`
+}
+
+// BatchResponse is the /batch payload.
+type BatchResponse struct {
+	Unit    string        `json:"unit"`
+	Regions []BatchRegion `json:"regions"`
 }
 
 // ErrorResponse is the JSON error body.
@@ -116,9 +139,11 @@ func (s *Server) nowHour() int {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/regions", s.handleRegions)
+	mux.HandleFunc("GET /v1/carbon-intensity/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/carbon-intensity/{region}/latest", s.handleLatest)
 	mux.HandleFunc("GET /v1/carbon-intensity/{region}/history", s.handleHistory)
 	mux.HandleFunc("GET /v1/carbon-intensity/{region}/forecast", s.handleForecast)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
 
@@ -194,6 +219,49 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SeriesResponse{Region: tr.Region, Unit: Unit, Forecast: true, Points: points})
 }
 
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("regions")
+	if raw == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "regions parameter is required (comma-separated codes)"})
+		return
+	}
+	codes := strings.Split(raw, ",")
+	hours, ok := hoursParam(w, r, 0) // 0: latest only, no history
+	if !ok {
+		return
+	}
+	now := s.nowHour()
+	lo := now - hours
+	if lo < 0 {
+		lo = 0
+	}
+	out := BatchResponse{Unit: Unit, Regions: make([]BatchRegion, 0, len(codes))}
+	for _, code := range codes {
+		code = strings.TrimSpace(code)
+		tr, ok := s.set.Get(code)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown region %q", code)})
+			return
+		}
+		br := BatchRegion{
+			Region: tr.Region,
+			Latest: Point{Timestamp: tr.TimeAt(now), CarbonIntensity: tr.At(now)},
+		}
+		if hours > 0 {
+			br.History = make([]Point, 0, now-lo)
+			for h := lo; h < now; h++ {
+				br.History = append(br.History, Point{Timestamp: tr.TimeAt(h), CarbonIntensity: tr.At(h)})
+			}
+		}
+		out.Regions = append(out.Regions, br)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
 func hoursParam(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
 	raw := r.URL.Query().Get("hours")
 	if raw == "" {
@@ -210,9 +278,5 @@ func hoursParam(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// Encoding failures past the header are unrecoverable mid-stream;
-	// the connection-level error is all the client can see anyway.
-	_ = json.NewEncoder(w).Encode(v)
+	httpx.WriteJSON(w, status, v)
 }

@@ -1,0 +1,57 @@
+// Package httpx holds the JSON-over-HTTP plumbing shared by the
+// repository's services (internal/carbonapi, internal/schedd) and
+// their typed clients, so response encoding, error-body mapping, and
+// read limits stay identical across them.
+package httpx
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// MaxBody bounds how much of any response or request body is read.
+const MaxBody = 16 << 20
+
+// errorBody is the shared {"error": ...} wire shape every service uses
+// for non-200 responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON writes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures past the header are unrecoverable mid-stream;
+	// the connection-level error is all the client can see anyway.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// DoJSON issues req, decodes a 200 response into out, and maps any
+// other status to an error — using the server's {"error": ...} body
+// when one is present. Every error is prefixed with prefix (the client
+// package's name).
+func DoJSON(hc *http.Client, req *http.Request, prefix string, out any) error {
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%s: %w", prefix, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBody))
+	if err != nil {
+		return fmt.Errorf("%s: reading response: %w", prefix, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr errorBody
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s: %s", prefix, resp.Status, apiErr.Error)
+		}
+		return fmt.Errorf("%s: unexpected status %s", prefix, resp.Status)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("%s: decoding response: %w", prefix, err)
+	}
+	return nil
+}

@@ -1,0 +1,448 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"carbonshift/internal/trace"
+)
+
+// Fleet is the incremental core of the simulator: the same hour-stepped
+// world that Run simulates, but driven one tick at a time, with jobs
+// submitted while it runs. Run is a thin offline loop over a Fleet;
+// internal/schedd serves one over HTTP against a replayed clock. The
+// two paths share every line of scheduling logic, so the online service
+// is placement-for-placement identical to the batch simulator.
+//
+// A Fleet is not safe for concurrent use; callers that share one across
+// goroutines (e.g. an HTTP server) must serialize access.
+type Fleet struct {
+	set     *trace.Set
+	policy  Policy
+	horizon int
+
+	slots       map[string]int
+	regionsList []string
+	totalSlots  int
+
+	hour          int
+	states        []*state
+	byID          map[int]*state
+	free          map[string]int
+	slotHoursUsed float64
+	completed     int
+
+	// OnPlace, when non-nil, observes every executed job-hour in
+	// deterministic submission order: it is called once per job that
+	// runs during a Step, after the hour's placements are final.
+	OnPlace func(hour, jobID int, region string)
+}
+
+// state is the mutable per-job bookkeeping.
+type state struct {
+	Job
+	progress   int
+	region     string // current placement ("" before first run)
+	ranLastHr  bool
+	done       bool
+	doneAt     int
+	emissions  float64
+	waitHours  int
+	migrations int
+}
+
+func (st *state) preferredRegion() string {
+	if st.region != "" {
+		return st.region
+	}
+	return st.Origin
+}
+
+// NewFleet validates the world and returns an empty fleet at hour zero.
+func NewFleet(set *trace.Set, clusters []Cluster, policy Policy, horizon int) (*Fleet, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	if horizon < 1 || horizon > set.Len() {
+		return nil, fmt.Errorf("sched: horizon %d outside trace of %d hours", horizon, set.Len())
+	}
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("sched: no clusters")
+	}
+	f := &Fleet{
+		set:     set,
+		policy:  policy,
+		horizon: horizon,
+		slots:   make(map[string]int, len(clusters)),
+		byID:    make(map[int]*state),
+		free:    make(map[string]int, len(clusters)),
+	}
+	for _, c := range clusters {
+		if c.Slots < 1 {
+			return nil, fmt.Errorf("sched: cluster %s has %d slots", c.Region, c.Slots)
+		}
+		if _, ok := set.Get(c.Region); !ok {
+			return nil, fmt.Errorf("sched: cluster region %q not in trace set", c.Region)
+		}
+		if _, dup := f.slots[c.Region]; dup {
+			return nil, fmt.Errorf("sched: duplicate cluster %s", c.Region)
+		}
+		f.slots[c.Region] = c.Slots
+		f.regionsList = append(f.regionsList, c.Region)
+		f.totalSlots += c.Slots
+	}
+	sort.Strings(f.regionsList)
+	return f, nil
+}
+
+// Hour returns the next hour the fleet will simulate.
+func (f *Fleet) Hour() int { return f.hour }
+
+// Horizon returns the exclusive final hour.
+func (f *Fleet) Horizon() int { return f.horizon }
+
+// Done reports whether the fleet has simulated its whole horizon.
+func (f *Fleet) Done() bool { return f.hour >= f.horizon }
+
+// Jobs returns the number of jobs submitted so far.
+func (f *Fleet) Jobs() int { return len(f.states) }
+
+// Regions lists the cluster regions in sorted order.
+func (f *Fleet) Regions() []string {
+	out := make([]string, len(f.regionsList))
+	copy(out, f.regionsList)
+	return out
+}
+
+// Slots returns the slot count of one region's cluster (0 if unknown).
+func (f *Fleet) Slots(region string) int { return f.slots[region] }
+
+// Submit adds jobs to the fleet. The call is atomic: on any validation
+// error no job from the batch is admitted. Jobs may arrive at or after
+// the fleet's current hour; submitting into the simulated past is an
+// error.
+func (f *Fleet) Submit(jobs ...Job) error {
+	batch := make(map[int]struct{}, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if _, ok := f.slots[j.Origin]; !ok {
+			return fmt.Errorf("sched: job %d origin %q has no cluster", j.ID, j.Origin)
+		}
+		if _, dup := f.byID[j.ID]; dup {
+			return fmt.Errorf("sched: duplicate job id %d", j.ID)
+		}
+		if _, dup := batch[j.ID]; dup {
+			return fmt.Errorf("sched: duplicate job id %d", j.ID)
+		}
+		if j.Arrival < f.hour {
+			return fmt.Errorf("sched: job %d arrives at hour %d, before current hour %d", j.ID, j.Arrival, f.hour)
+		}
+		batch[j.ID] = struct{}{}
+	}
+	for _, j := range jobs {
+		st := &state{Job: j}
+		f.states = append(f.states, st)
+		f.byID[j.ID] = st
+	}
+	return nil
+}
+
+// Step simulates the fleet's current hour and advances to the next. It
+// errors past the horizon and on a misbehaving policy (unknown job or
+// region, double placement, pinned migration, oversubscription).
+func (f *Fleet) Step() error {
+	if f.hour >= f.horizon {
+		return fmt.Errorf("sched: horizon %d exhausted", f.horizon)
+	}
+	hour := f.hour
+	ci := func(region string, h int) float64 { return f.set.MustGet(region).At(h) }
+	for r, s := range f.slots {
+		f.free[r] = s
+	}
+	for _, st := range f.states {
+		st.ranLastHr = false
+	}
+	runNow := make(map[int]string) // job id -> region
+
+	// Phase 1: forced continuations — a started non-interruptible
+	// job occupies its slot until done.
+	for _, st := range f.states {
+		if st.done || st.progress == 0 || st.Interruptible {
+			continue
+		}
+		runNow[st.ID] = st.region
+		f.free[st.region]--
+	}
+
+	// Phase 2: deadline forcing — a job whose remaining slack is
+	// zero must run every hour from now on. Try its current/origin
+	// region, then (if migratable) anything with space.
+	for _, st := range f.states {
+		if st.done || st.Arrival > hour {
+			continue
+		}
+		if _, already := runNow[st.ID]; already {
+			continue
+		}
+		remaining := st.Length - st.progress
+		if st.Deadline()-hour > remaining {
+			continue // still has slack
+		}
+		region := st.preferredRegion()
+		if f.free[region] <= 0 && st.Migratable {
+			for _, r := range f.regionsList {
+				if f.free[r] > 0 {
+					region = r
+					break
+				}
+			}
+		}
+		if f.free[region] > 0 {
+			runNow[st.ID] = region
+			f.free[region]--
+		}
+		// If nothing is free the job misses this hour — and
+		// likely its deadline. That is the contention signal the
+		// simulator exists to surface.
+	}
+
+	// Phase 3: policy placements for the flexible remainder.
+	tick := &Tick{
+		Hour:    hour,
+		Regions: f.regionsList,
+		CI:      func(region string) float64 { return ci(region, hour) },
+		Lookback: func(region string, n int) []float64 {
+			lo := hour - n
+			if lo < 0 {
+				lo = 0
+			}
+			return f.set.MustGet(region).CI[lo:hour]
+		},
+		FreeSlots: copySlots(f.free),
+	}
+	for _, st := range f.states {
+		if st.done || st.Arrival > hour {
+			continue
+		}
+		if _, already := runNow[st.ID]; already {
+			continue
+		}
+		tick.Eligible = append(tick.Eligible, JobView{
+			ID:              st.ID,
+			Origin:          st.Origin,
+			Remaining:       st.Length - st.progress,
+			HoursToDeadline: st.Deadline() - hour,
+			Interruptible:   st.Interruptible,
+			Migratable:      st.Migratable,
+		})
+	}
+	for _, p := range f.policy.Plan(tick) {
+		st, ok := f.byID[p.JobID]
+		if !ok {
+			return fmt.Errorf("sched: policy %s placed unknown job %d", f.policy.Name(), p.JobID)
+		}
+		if st.done || st.Arrival > hour {
+			return fmt.Errorf("sched: policy %s placed ineligible job %d", f.policy.Name(), p.JobID)
+		}
+		if _, already := runNow[st.ID]; already {
+			return fmt.Errorf("sched: policy %s double-placed job %d", f.policy.Name(), p.JobID)
+		}
+		if _, ok := f.slots[p.Region]; !ok {
+			return fmt.Errorf("sched: policy %s used unknown region %q", f.policy.Name(), p.Region)
+		}
+		if !st.Migratable && p.Region != st.Origin {
+			return fmt.Errorf("sched: policy %s migrated pinned job %d", f.policy.Name(), st.ID)
+		}
+		if f.free[p.Region] <= 0 {
+			return fmt.Errorf("sched: policy %s oversubscribed region %s", f.policy.Name(), p.Region)
+		}
+		runNow[st.ID] = p.Region
+		f.free[p.Region]--
+	}
+
+	// Phase 4: advance the world one hour.
+	for _, st := range f.states {
+		if st.done || st.Arrival > hour {
+			continue
+		}
+		region, running := runNow[st.ID]
+		if !running {
+			st.waitHours++
+			continue
+		}
+		if st.region != "" && st.region != region {
+			st.migrations++
+		}
+		st.region = region
+		st.ranLastHr = true
+		st.progress++
+		st.emissions += ci(region, hour)
+		f.slotHoursUsed++
+		if f.OnPlace != nil {
+			f.OnPlace(hour, st.ID, region)
+		}
+		if st.progress == st.Length {
+			st.done = true
+			st.doneAt = hour + 1
+			f.completed++
+		}
+	}
+	f.hour++
+	return nil
+}
+
+// Outstanding returns the number of submitted jobs that have not yet
+// completed, in O(1) — the backpressure signal for online admission.
+func (f *Fleet) Outstanding() int { return len(f.states) - f.completed }
+
+// Snapshot aggregates the fleet's outcomes so far into a Result, in job
+// submission order. Once the fleet has stepped through its full horizon
+// the result is byte-identical to what Run returns for the same inputs.
+// An uncompleted job counts as missed once its deadline is at or before
+// the current hour.
+func (f *Fleet) Snapshot() Result {
+	res := Result{
+		Policy:         f.policy.Name(),
+		SlotHoursUsed:  f.slotHoursUsed,
+		SlotHoursTotal: float64(f.totalSlots * f.horizon),
+	}
+	for _, st := range f.states {
+		out := Outcome{
+			Job:        st.Job,
+			Completed:  st.done,
+			Emissions:  st.emissions,
+			WaitHours:  st.waitHours,
+			Migrations: st.migrations,
+		}
+		if st.done {
+			out.CompletedAt = st.doneAt
+			out.MissedDeadline = st.doneAt > st.Deadline()
+			res.Completed++
+		} else {
+			out.MissedDeadline = st.Deadline() <= f.hour
+		}
+		if out.MissedDeadline {
+			res.Missed++
+		}
+		res.TotalEmissions += st.emissions
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	if res.Completed > 0 {
+		var wait float64
+		for _, o := range res.Outcomes {
+			if o.Completed {
+				wait += float64(o.WaitHours)
+			}
+		}
+		res.MeanWaitHours = wait / float64(res.Completed)
+	}
+	return res
+}
+
+// JobInfo is the live view of one submitted job.
+type JobInfo struct {
+	Job
+	// Remaining is the run-hours still needed.
+	Remaining int
+	// Region is the most recent placement ("" before the first run).
+	Region string
+	// Running reports whether the job ran in the most recent Step.
+	Running bool
+	// Completed and CompletedAt mirror Outcome.
+	Completed   bool
+	CompletedAt int
+	// MissedDeadline is true for a late completion or an uncompleted
+	// job whose deadline has passed.
+	MissedDeadline bool
+	Emissions      float64
+	WaitHours      int
+	Migrations     int
+}
+
+// Lookup returns the live view of a submitted job.
+func (f *Fleet) Lookup(id int) (JobInfo, bool) {
+	st, ok := f.byID[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	info := JobInfo{
+		Job:        st.Job,
+		Remaining:  st.Length - st.progress,
+		Region:     st.region,
+		Running:    st.ranLastHr,
+		Completed:  st.done,
+		Emissions:  st.emissions,
+		WaitHours:  st.waitHours,
+		Migrations: st.migrations,
+	}
+	if st.done {
+		info.CompletedAt = st.doneAt
+		info.MissedDeadline = st.doneAt > st.Deadline()
+	} else {
+		info.MissedDeadline = st.Deadline() <= f.hour
+	}
+	return info, true
+}
+
+// FleetStats is a cheap aggregate for monitoring (internal/schedd's
+// /v1/stats): one pass over the jobs, no per-job allocation. Unlike
+// Snapshot, SlotHoursTotal covers only the hours simulated so far, so
+// Utilization reflects elapsed time rather than the full horizon.
+// Unresolved counts every submitted-but-uncompleted job, including
+// overdue ones that are still running toward a late finish.
+type FleetStats struct {
+	Hour, Horizon                 int
+	Submitted, Completed, Missed  int
+	Running, Queued, Unresolved   int
+	TotalEmissions                float64
+	SlotHoursUsed, SlotHoursTotal float64
+}
+
+// Utilization returns used/elapsed slot-hours.
+func (s FleetStats) Utilization() float64 {
+	if s.SlotHoursTotal == 0 {
+		return 0
+	}
+	return s.SlotHoursUsed / s.SlotHoursTotal
+}
+
+// Stats summarizes the fleet's current state.
+func (f *Fleet) Stats() FleetStats {
+	st := FleetStats{
+		Hour:           f.hour,
+		Horizon:        f.horizon,
+		Submitted:      len(f.states),
+		SlotHoursUsed:  f.slotHoursUsed,
+		SlotHoursTotal: float64(f.totalSlots * f.hour),
+	}
+	for _, s := range f.states {
+		st.TotalEmissions += s.emissions
+		if s.done {
+			st.Completed++
+			if s.doneAt > s.Deadline() {
+				st.Missed++
+			}
+			continue
+		}
+		st.Unresolved++
+		if s.Deadline() <= f.hour {
+			st.Missed++
+		}
+		if s.ranLastHr {
+			st.Running++
+		} else {
+			st.Queued++
+		}
+	}
+	return st
+}
+
+func copySlots(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -22,7 +22,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"carbonshift/internal/trace"
 )
@@ -158,243 +157,22 @@ func (r Result) Utilization() float64 {
 	return r.SlotHoursUsed / r.SlotHoursTotal
 }
 
-// state is the mutable per-job bookkeeping.
-type state struct {
-	Job
-	progress   int
-	region     string // current placement ("" before first run)
-	ranLastHr  bool
-	done       bool
-	doneAt     int
-	emissions  float64
-	waitHours  int
-	migrations int
-}
-
 // Run simulates the fleet from hour 0 to horizon (exclusive) and
 // returns the aggregate result. All job windows must fit the trace.
+// Run is the offline mode of the incremental Fleet: it submits every
+// job up front and steps through the whole horizon.
 func Run(set *trace.Set, clusters []Cluster, jobs []Job, policy Policy, horizon int) (Result, error) {
-	if policy == nil {
-		return Result{}, fmt.Errorf("sched: nil policy")
+	f, err := NewFleet(set, clusters, policy, horizon)
+	if err != nil {
+		return Result{}, err
 	}
-	if horizon < 1 || horizon > set.Len() {
-		return Result{}, fmt.Errorf("sched: horizon %d outside trace of %d hours", horizon, set.Len())
+	if err := f.Submit(jobs...); err != nil {
+		return Result{}, err
 	}
-	if len(clusters) == 0 {
-		return Result{}, fmt.Errorf("sched: no clusters")
-	}
-	slots := make(map[string]int, len(clusters))
-	var regionsList []string
-	var totalSlots int
-	for _, c := range clusters {
-		if c.Slots < 1 {
-			return Result{}, fmt.Errorf("sched: cluster %s has %d slots", c.Region, c.Slots)
-		}
-		if _, ok := set.Get(c.Region); !ok {
-			return Result{}, fmt.Errorf("sched: cluster region %q not in trace set", c.Region)
-		}
-		if _, dup := slots[c.Region]; dup {
-			return Result{}, fmt.Errorf("sched: duplicate cluster %s", c.Region)
-		}
-		slots[c.Region] = c.Slots
-		regionsList = append(regionsList, c.Region)
-		totalSlots += c.Slots
-	}
-	sort.Strings(regionsList)
-
-	states := make([]*state, len(jobs))
-	byID := make(map[int]*state, len(jobs))
-	for i, j := range jobs {
-		if err := j.Validate(); err != nil {
+	for !f.Done() {
+		if err := f.Step(); err != nil {
 			return Result{}, err
 		}
-		if _, ok := slots[j.Origin]; !ok {
-			return Result{}, fmt.Errorf("sched: job %d origin %q has no cluster", j.ID, j.Origin)
-		}
-		if _, dup := byID[j.ID]; dup {
-			return Result{}, fmt.Errorf("sched: duplicate job id %d", j.ID)
-		}
-		st := &state{Job: j}
-		states[i] = st
-		byID[j.ID] = st
 	}
-
-	ci := func(region string, hour int) float64 { return set.MustGet(region).At(hour) }
-
-	res := Result{Policy: policy.Name(), SlotHoursTotal: float64(totalSlots * horizon)}
-	free := make(map[string]int, len(slots))
-
-	for hour := 0; hour < horizon; hour++ {
-		for r, s := range slots {
-			free[r] = s
-		}
-		runNow := make(map[int]string) // job id -> region
-
-		// Phase 1: forced continuations — a started non-interruptible
-		// job occupies its slot until done.
-		for _, st := range states {
-			if st.done || st.progress == 0 || st.Interruptible {
-				continue
-			}
-			runNow[st.ID] = st.region
-			free[st.region]--
-		}
-
-		// Phase 2: deadline forcing — a job whose remaining slack is
-		// zero must run every hour from now on. Try its current/origin
-		// region, then (if migratable) anything with space.
-		for _, st := range states {
-			if st.done || st.Arrival > hour {
-				continue
-			}
-			if _, already := runNow[st.ID]; already {
-				continue
-			}
-			remaining := st.Length - st.progress
-			if st.Deadline()-hour > remaining {
-				continue // still has slack
-			}
-			region := st.preferredRegion()
-			if free[region] <= 0 && st.Migratable {
-				for _, r := range regionsList {
-					if free[r] > 0 {
-						region = r
-						break
-					}
-				}
-			}
-			if free[region] > 0 {
-				runNow[st.ID] = region
-				free[region]--
-			}
-			// If nothing is free the job misses this hour — and
-			// likely its deadline. That is the contention signal the
-			// simulator exists to surface.
-		}
-
-		// Phase 3: policy placements for the flexible remainder.
-		tick := &Tick{
-			Hour:    hour,
-			Regions: regionsList,
-			CI:      func(region string) float64 { return ci(region, hour) },
-			Lookback: func(region string, n int) []float64 {
-				lo := hour - n
-				if lo < 0 {
-					lo = 0
-				}
-				return set.MustGet(region).CI[lo:hour]
-			},
-			FreeSlots: copySlots(free),
-		}
-		for _, st := range states {
-			if st.done || st.Arrival > hour {
-				continue
-			}
-			if _, already := runNow[st.ID]; already {
-				continue
-			}
-			tick.Eligible = append(tick.Eligible, JobView{
-				ID:              st.ID,
-				Origin:          st.Origin,
-				Remaining:       st.Length - st.progress,
-				HoursToDeadline: st.Deadline() - hour,
-				Interruptible:   st.Interruptible,
-				Migratable:      st.Migratable,
-			})
-		}
-		for _, p := range policy.Plan(tick) {
-			st, ok := byID[p.JobID]
-			if !ok {
-				return Result{}, fmt.Errorf("sched: policy %s placed unknown job %d", policy.Name(), p.JobID)
-			}
-			if st.done || st.Arrival > hour {
-				return Result{}, fmt.Errorf("sched: policy %s placed ineligible job %d", policy.Name(), p.JobID)
-			}
-			if _, already := runNow[st.ID]; already {
-				return Result{}, fmt.Errorf("sched: policy %s double-placed job %d", policy.Name(), p.JobID)
-			}
-			if _, ok := slots[p.Region]; !ok {
-				return Result{}, fmt.Errorf("sched: policy %s used unknown region %q", policy.Name(), p.Region)
-			}
-			if !st.Migratable && p.Region != st.Origin {
-				return Result{}, fmt.Errorf("sched: policy %s migrated pinned job %d", policy.Name(), st.ID)
-			}
-			if free[p.Region] <= 0 {
-				return Result{}, fmt.Errorf("sched: policy %s oversubscribed region %s", policy.Name(), p.Region)
-			}
-			runNow[st.ID] = p.Region
-			free[p.Region]--
-		}
-
-		// Phase 4: advance the world one hour.
-		for _, st := range states {
-			if st.done || st.Arrival > hour {
-				continue
-			}
-			region, running := runNow[st.ID]
-			if !running {
-				st.waitHours++
-				continue
-			}
-			if st.region != "" && st.region != region {
-				st.migrations++
-			}
-			st.region = region
-			st.ranLastHr = true
-			st.progress++
-			st.emissions += ci(region, hour)
-			res.SlotHoursUsed++
-			if st.progress == st.Length {
-				st.done = true
-				st.doneAt = hour + 1
-			}
-		}
-	}
-
-	for _, st := range states {
-		out := Outcome{
-			Job:        st.Job,
-			Completed:  st.done,
-			Emissions:  st.emissions,
-			WaitHours:  st.waitHours,
-			Migrations: st.migrations,
-		}
-		if st.done {
-			out.CompletedAt = st.doneAt
-			out.MissedDeadline = st.doneAt > st.Deadline()
-			res.Completed++
-		} else {
-			out.MissedDeadline = st.Deadline() <= horizon
-		}
-		if out.MissedDeadline {
-			res.Missed++
-		}
-		res.TotalEmissions += st.emissions
-		res.Outcomes = append(res.Outcomes, out)
-	}
-	if res.Completed > 0 {
-		var wait float64
-		for _, o := range res.Outcomes {
-			if o.Completed {
-				wait += float64(o.WaitHours)
-			}
-		}
-		res.MeanWaitHours = wait / float64(res.Completed)
-	}
-	return res, nil
-}
-
-func (st *state) preferredRegion() string {
-	if st.region != "" {
-		return st.region
-	}
-	return st.Origin
-}
-
-func copySlots(m map[string]int) map[string]int {
-	out := make(map[string]int, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
+	return f.Snapshot(), nil
 }

@@ -1,0 +1,91 @@
+package schedd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"carbonshift/internal/httpx"
+)
+
+// Client is a typed client for the scheduling service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the service at baseURL. A nil
+// httpClient uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("schedd: invalid base URL %q", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: u.String(), hc: httpClient}, nil
+}
+
+// Submit submits one or more jobs and returns the acknowledgement.
+func (c *Client) Submit(ctx context.Context, jobs ...JobRequest) (SubmitResponse, error) {
+	if len(jobs) == 0 {
+		return SubmitResponse{}, fmt.Errorf("schedd: no jobs to submit")
+	}
+	var payload any = jobs[0]
+	if len(jobs) > 1 {
+		payload = SubmitRequest{Jobs: jobs}
+	}
+	var out SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", payload, &out); err != nil {
+		return SubmitResponse{}, err
+	}
+	return out, nil
+}
+
+// Job returns the live status of one job.
+func (c *Client) Job(ctx context.Context, id int) (JobResponse, error) {
+	var out JobResponse
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &out); err != nil {
+		return JobResponse{}, err
+	}
+	return out, nil
+}
+
+// Stats returns the fleet-wide aggregate.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return StatsResponse{}, err
+	}
+	return out, nil
+}
+
+// Healthz reports service liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	var out map[string]string
+	return c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("schedd: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("schedd: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return httpx.DoJSON(c.hc, req, "schedd", out)
+}

@@ -1,0 +1,36 @@
+package schedd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"carbonshift/internal/sched"
+)
+
+// PolicyByName resolves a scheduling policy from its wire name, as used
+// by cmd/schedd's -policy flag. Percentile and window parameterize the
+// gated policies and are ignored by the rest.
+func PolicyByName(name string, percentile float64, window int) (sched.Policy, error) {
+	switch name {
+	case "fifo":
+		return sched.FIFO{}, nil
+	case "carbon-gate":
+		return sched.CarbonGate{Percentile: percentile, Window: window}, nil
+	case "forecast-gate":
+		return sched.ForecastGate{Percentile: percentile}, nil
+	case "greenest-first":
+		return sched.GreenestFirst{}, nil
+	case "spatiotemporal":
+		return sched.SpatioTemporal{Percentile: percentile, Window: window}, nil
+	default:
+		return nil, fmt.Errorf("schedd: unknown policy %q (have %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// PolicyNames lists the resolvable policy names, sorted.
+func PolicyNames() []string {
+	names := []string{"fifo", "carbon-gate", "forecast-gate", "greenest-first", "spatiotemporal"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,422 @@
+// Package schedd is the online carbon-aware scheduling service: the
+// live, Borg/Kubernetes-shaped component that internal/sched's batch
+// simulator stands in for. It wraps an incremental sched.Fleet in an
+// HTTP API — jobs are submitted over the wire, placed by a pluggable
+// carbon-aware policy against the replayed grid, and observable while
+// they run:
+//
+//	POST /v1/jobs          submit one job or a batch
+//	GET  /v1/jobs/{id}     status: queued/running/done/missed
+//	GET  /v1/stats         fleet emissions, utilization, miss rate
+//	GET  /healthz          liveness
+//
+// Time is driven by the same injectable replay clock as
+// internal/carbonapi: the wall clock maps to a trace hour, and the
+// fleet is stepped forward to the current hour before every request is
+// answered. Because the fleet is the exact engine behind sched.Run, an
+// online run that submits the same jobs at the same hours produces
+// byte-identical placements and emissions to the offline simulation —
+// asserted by this package's equivalence test.
+package schedd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"carbonshift/internal/httpx"
+	"carbonshift/internal/sched"
+	"carbonshift/internal/trace"
+)
+
+// Defaults for Config's bounds.
+const (
+	DefaultMaxJobs  = 1 << 20
+	DefaultMaxQueue = 1 << 16
+)
+
+// Config sets the service's scheduling world.
+type Config struct {
+	// Policy places flexible jobs (required).
+	Policy sched.Policy
+	// Horizon is the exclusive final trace hour (default: trace length).
+	Horizon int
+	// MaxJobs bounds the total jobs the in-memory store retains;
+	// submissions past it are rejected with 503 (default DefaultMaxJobs).
+	MaxJobs int
+	// MaxQueue bounds outstanding (unresolved) jobs; submissions that
+	// would exceed it are rejected with 503 (default DefaultMaxQueue).
+	MaxQueue int
+	// Seed is echoed in /v1/stats so load generators can reproduce the
+	// server's trace set for offline baselines.
+	Seed uint64
+}
+
+// Server is the online scheduling service.
+type Server struct {
+	mu      sync.Mutex
+	fleet   *sched.Fleet
+	failed  error // sticky: a policy fault poisons the service
+	nextID  int
+	started time.Time
+
+	traceStart time.Time
+	now        func() time.Time
+	clusters   []sched.Cluster
+	cfg        Config
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithClock injects the time source (for replay and tests). Trace hour
+// 0 corresponds to the trace set's start time.
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
+}
+
+// WithRecorder observes every executed job-hour (hour, job id, region)
+// in deterministic order — the hook the equivalence test uses.
+func WithRecorder(rec func(hour, jobID int, region string)) Option {
+	return func(s *Server) { s.fleet.OnPlace = rec }
+}
+
+// New builds the service over the trace set and regional clusters.
+func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (*Server, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = set.Len()
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	fleet, err := sched.NewFleet(set, clusters, cfg.Policy, cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		fleet:      fleet,
+		traceStart: set.Start(),
+		now:        time.Now,
+		clusters:   clusters,
+		cfg:        cfg,
+		started:    time.Now(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// hourNow maps the clock to a fleet hour, clamped into [0, horizon].
+func (s *Server) hourNow() int {
+	h := int(s.now().UTC().Sub(s.traceStart) / time.Hour)
+	if h < 0 {
+		h = 0
+	}
+	if h > s.cfg.Horizon {
+		h = s.cfg.Horizon
+	}
+	return h
+}
+
+// advanceLocked steps the fleet to the clock's current hour. The mutex
+// must be held.
+func (s *Server) advanceLocked() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	target := s.hourNow()
+	for s.fleet.Hour() < target {
+		if err := s.fleet.Step(); err != nil {
+			s.failed = err
+			return err
+		}
+	}
+	return nil
+}
+
+// JobRequest is one job submission. ID is optional: when nil the server
+// assigns the next sequential id. Arrival is always the current replay
+// hour — jobs cannot be submitted into the past or future.
+type JobRequest struct {
+	ID            *int   `json:"id,omitempty"`
+	Origin        string `json:"origin"`
+	LengthHours   int    `json:"length_hours"`
+	SlackHours    int    `json:"slack_hours"`
+	Interruptible bool   `json:"interruptible"`
+	Migratable    bool   `json:"migratable"`
+}
+
+// SubmitRequest is the POST /v1/jobs payload: either a bare JobRequest
+// or {"jobs": [...]} for a batch.
+type SubmitRequest struct {
+	JobRequest
+	Jobs []JobRequest `json:"jobs,omitempty"`
+}
+
+// SubmitResponse acknowledges admitted jobs.
+type SubmitResponse struct {
+	IDs         []int `json:"ids"`
+	ArrivalHour int   `json:"arrival_hour"`
+	Accepted    int   `json:"accepted"`
+}
+
+// JobResponse is the GET /v1/jobs/{id} payload.
+type JobResponse struct {
+	ID             int     `json:"id"`
+	State          string  `json:"state"` // queued | running | done | missed
+	Origin         string  `json:"origin"`
+	Region         string  `json:"region,omitempty"`
+	ArrivalHour    int     `json:"arrival_hour"`
+	DeadlineHour   int     `json:"deadline_hour"`
+	RemainingHours int     `json:"remaining_hours"`
+	CompletedAt    int     `json:"completed_at,omitempty"`
+	EmissionsG     float64 `json:"emissions_g"`
+	WaitHours      int     `json:"wait_hours"`
+	Migrations     int     `json:"migrations"`
+}
+
+// ClusterInfo describes one regional cluster in /v1/stats.
+type ClusterInfo struct {
+	Region string `json:"region"`
+	Slots  int    `json:"slots"`
+}
+
+// StatsResponse is the GET /v1/stats payload.
+type StatsResponse struct {
+	Policy          string        `json:"policy"`
+	Hour            int           `json:"hour"`
+	Horizon         int           `json:"horizon"`
+	Seed            uint64        `json:"seed"`
+	Clusters        []ClusterInfo `json:"clusters"`
+	Submitted       int           `json:"submitted"`
+	Completed       int           `json:"completed"`
+	Missed          int           `json:"missed"`
+	Running         int           `json:"running"`
+	QueueDepth      int           `json:"queue_depth"`
+	Unresolved      int           `json:"unresolved"`
+	TotalEmissionsG float64       `json:"total_emissions_g"`
+	Utilization     float64       `json:"utilization"`
+	MissRate        float64       `json:"miss_rate"`
+}
+
+// ErrorResponse is the JSON error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	batch := req.Jobs
+	if len(batch) == 0 {
+		batch = []JobRequest{req.JobRequest}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.advanceLocked(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	arrival := s.fleet.Hour()
+	if arrival >= s.cfg.Horizon {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "replay horizon exhausted"})
+		return
+	}
+	if s.fleet.Jobs()+len(batch) > s.cfg.MaxJobs {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "job store full"})
+		return
+	}
+	if s.fleet.Outstanding()+len(batch) > s.cfg.MaxQueue {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "queue full"})
+		return
+	}
+	jobs := make([]sched.Job, len(batch))
+	ids := make([]int, len(batch))
+	next := s.nextID
+	inBatch := make(map[int]bool, len(batch))
+	for i, jr := range batch {
+		var id int
+		if jr.ID != nil {
+			id = *jr.ID
+		} else {
+			// Skip ids already taken by earlier (possibly explicit)
+			// submissions so auto-assignment can never collide.
+			for {
+				_, taken := s.fleet.Lookup(next)
+				if !taken && !inBatch[next] {
+					break
+				}
+				next++
+			}
+			id = next
+			next++
+		}
+		ids[i] = id
+		inBatch[id] = true
+		jobs[i] = sched.Job{
+			ID:            id,
+			Origin:        jr.Origin,
+			Arrival:       arrival,
+			Length:        jr.LengthHours,
+			Slack:         jr.SlackHours,
+			Interruptible: jr.Interruptible,
+			Migratable:    jr.Migratable,
+		}
+	}
+	if err := s.fleet.Submit(jobs...); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.nextID = next
+	writeJSON(w, http.StatusOK, SubmitResponse{IDs: ids, ArrivalHour: arrival, Accepted: len(ids)})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "job id must be an integer"})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.advanceLocked(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	info, ok := s.fleet.Lookup(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown job %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse(info))
+}
+
+func jobResponse(info sched.JobInfo) JobResponse {
+	resp := JobResponse{
+		ID:             info.ID,
+		State:          jobState(info),
+		Origin:         info.Origin,
+		Region:         info.Region,
+		ArrivalHour:    info.Arrival,
+		DeadlineHour:   info.Deadline(),
+		RemainingHours: info.Remaining,
+		EmissionsG:     info.Emissions,
+		WaitHours:      info.WaitHours,
+		Migrations:     info.Migrations,
+	}
+	if info.Completed {
+		resp.CompletedAt = info.CompletedAt
+	}
+	return resp
+}
+
+func jobState(info sched.JobInfo) string {
+	switch {
+	case info.MissedDeadline:
+		return "missed"
+	case info.Completed:
+		return "done"
+	case info.Running:
+		return "running"
+	default:
+		return "queued"
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.advanceLocked(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsLocked())
+}
+
+func (s *Server) statsLocked() StatsResponse {
+	st := s.fleet.Stats()
+	resp := StatsResponse{
+		Policy:          s.cfg.Policy.Name(),
+		Hour:            st.Hour,
+		Horizon:         st.Horizon,
+		Seed:            s.cfg.Seed,
+		Submitted:       st.Submitted,
+		Completed:       st.Completed,
+		Missed:          st.Missed,
+		Running:         st.Running,
+		QueueDepth:      st.Queued,
+		Unresolved:      st.Unresolved,
+		TotalEmissionsG: st.TotalEmissions,
+		Utilization:     st.Utilization(),
+	}
+	if st.Submitted > 0 {
+		resp.MissRate = float64(st.Missed) / float64(st.Submitted)
+	}
+	for _, c := range s.clusters {
+		resp.Clusters = append(resp.Clusters, ClusterInfo{Region: c.Region, Slots: c.Slots})
+	}
+	return resp
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	failed := s.failed
+	s.mu.Unlock()
+	if failed != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: failed.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Drain steps the fleet until every submitted job completes or the
+// horizon is exhausted, ignoring the clock, and returns the final
+// aggregate. Late jobs run to completion past their deadline, exactly
+// as in the offline simulation. It is the graceful-shutdown path: stop
+// accepting traffic, then let the world run out.
+func (s *Server) Drain() (sched.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return sched.Result{}, s.failed
+	}
+	for !s.fleet.Done() && s.fleet.Outstanding() > 0 {
+		if err := s.fleet.Step(); err != nil {
+			s.failed = err
+			return sched.Result{}, err
+		}
+	}
+	return s.fleet.Snapshot(), nil
+}
+
+// Snapshot returns the fleet's aggregate result so far.
+func (s *Server) Snapshot() sched.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.Snapshot()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	httpx.WriteJSON(w, status, v)
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T, handler http.Handler) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{Handler: handler}
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, srv, ln, 5*time.Second) }()
+	return "http://" + ln.Addr().String(), cancel, done
+}
+
+func TestServeAndCleanShutdown(t *testing.T) {
+	url, cancel, done := startTestServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	resp, err := http.Get(url + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+}
+
+func TestInFlightRequestsDrain(t *testing.T) {
+	release := make(chan struct{})
+	url, cancel, done := startTestServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		fmt.Fprint(w, "drained")
+	}))
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(url + "/")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- string(body)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the handler
+	cancel()                          // shutdown begins with the request in flight
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if body := <-got; body != "drained" {
+		t.Fatalf("in-flight request got %q", body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown returned %v", err)
+	}
+}
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	srv := &http.Server{Addr: "256.256.256.256:0"}
+	if err := ListenAndServe(context.Background(), srv, time.Second); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
