@@ -14,6 +14,7 @@ package carbonshift_test
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"carbonshift/internal/stats"
 	"carbonshift/internal/temporal"
 	"carbonshift/internal/trace"
+	"carbonshift/internal/workload"
 )
 
 var (
@@ -369,6 +371,175 @@ func BenchmarkFleetStep(b *testing.B) {
 		}
 	}
 }
+
+// schedWorldN builds an nRegions-region world with staggered diurnal
+// cycles, sized for the sharded-fleet benchmarks.
+func schedWorldN(b *testing.B, hours, nRegions, slots int) (*trace.Set, []sched.Cluster) {
+	b.Helper()
+	t0 := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var traces []*trace.Trace
+	var cl []sched.Cluster
+	for r := 0; r < nRegions; r++ {
+		ci := make([]float64, hours)
+		base := 40 + 80*float64(r)
+		for h := 0; h < hours; h++ {
+			ci[h] = base + 250*(1+math.Sin(2*math.Pi*float64(h+3*r)/24))
+		}
+		code := fmt.Sprintf("R%02d", r)
+		traces = append(traces, trace.New(code, t0, ci))
+		cl = append(cl, sched.Cluster{Region: code, Slots: slots})
+	}
+	set, err := trace.NewSet(traces)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set, cl
+}
+
+// BenchmarkShardedFleetStep is BenchmarkFleetStep's sharded twin: the
+// same per-tick unit of work over an 8-region world, stepped by an
+// 8-shard fleet. Compare against BenchmarkFleetStep8Regions (the
+// serial fleet on the identical world) for the shard speedup at
+// moderate population.
+func BenchmarkShardedFleetStep(b *testing.B) {
+	benchFleetStepN(b, 2000, 8)
+}
+
+// BenchmarkFleetStep8Regions is the serial baseline on the same world
+// BenchmarkShardedFleetStep uses.
+func BenchmarkFleetStep8Regions(b *testing.B) {
+	benchFleetStepN(b, 2000, 0)
+}
+
+// fleetStepper is the Step loop both fleet forms share, so the serial
+// and sharded benchmarks construct their worlds through one helper.
+type fleetStepper interface {
+	Done() bool
+	Step() error
+	Submit(...sched.Job) error
+}
+
+// benchStepFleet runs b.N Steps, rebuilding via mk (with the timer
+// paused) whenever a fleet exhausts its horizon.
+func benchStepFleet(b *testing.B, mk func() fleetStepper) {
+	fleet := mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fleet.Done() {
+			b.StopTimer()
+			fleet = mk()
+			b.StartTimer()
+		}
+		if err := fleet.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mkStepFleet builds a submitted fleet over the given world: shards ==
+// 0 means the serial Fleet, otherwise a ShardedFleet with that many
+// shards.
+func mkStepFleet(b *testing.B, set *trace.Set, cl []sched.Cluster,
+	policy sched.Policy, hours, shards int, stream []sched.Job) fleetStepper {
+	b.Helper()
+	var f fleetStepper
+	var err error
+	if shards == 0 {
+		f, err = sched.NewFleet(set, cl, policy, hours)
+	} else {
+		f, err = sched.NewShardedFleet(set, cl, policy, hours, shards)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Submit(stream...); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// benchFleetStepN steps a fleet over an 8-region year with the given
+// job population.
+func benchFleetStepN(b *testing.B, jobs, shards int) {
+	const hours = 24 * 365
+	set, cl := schedWorldN(b, hours, 8, 100)
+	var origins []string
+	for _, c := range cl {
+		origins = append(origins, c.Region)
+	}
+	stream, err := sched.GenerateJobs(sched.WorkloadSpec{
+		Jobs: jobs, ArrivalSpan: hours - 10*24, SlackHours: 48,
+		InterruptibleFrac: 0.8, MigratableFrac: 0.5,
+		Origins: origins, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy := sched.SpatioTemporal{Percentile: 40, Window: 48}
+	benchStepFleet(b, func() fleetStepper {
+		return mkStepFleet(b, set, cl, policy, hours, shards, stream)
+	})
+}
+
+// --- 1M-job scale pair ---
+//
+// The online-path scale benchmark of DESIGN.md's sharded-fleet
+// section: one million jobs spread over a year, serial Fleet vs
+// 8-shard ShardedFleet. The serial fleet rescans every submitted job
+// four times per tick; the sharded fleet scans only arrived,
+// uncompleted jobs, in parallel — the ratio of these two benchmarks is
+// the online Step-throughput multiplier recorded in BENCH_*.json.
+
+var (
+	scaleOnce sync.Once
+	scaleJobs []sched.Job
+)
+
+func scaleStream(b *testing.B, origins []string) []sched.Job {
+	b.Helper()
+	scaleOnce.Do(func() {
+		const hours = 24 * 365
+		jobs, err := sched.GenerateJobs(sched.WorkloadSpec{
+			Jobs: 1_000_000, ArrivalSpan: hours - 14*24, SlackHours: 48,
+			Dist:              workload.DistAzure,
+			InterruptibleFrac: 0.8, MigratableFrac: 0.5,
+			Origins: origins, Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for i := range jobs {
+			if jobs[i].Length > 24 {
+				jobs[i].Length = 24
+			}
+		}
+		scaleJobs = jobs
+	})
+	return scaleJobs
+}
+
+func benchScaleFleetStep(b *testing.B, shards int) {
+	const hours = 24 * 365
+	set, cl := schedWorldN(b, hours, 8, 2000)
+	var origins []string
+	for _, c := range cl {
+		origins = append(origins, c.Region)
+	}
+	stream := scaleStream(b, origins)
+	benchStepFleet(b, func() fleetStepper {
+		return mkStepFleet(b, set, cl, sched.GreenestFirst{}, hours, shards, stream)
+	})
+}
+
+// BenchmarkScaleFleetStep1MSerial steps the serial Fleet under one
+// million submitted jobs.
+func BenchmarkScaleFleetStep1MSerial(b *testing.B) { benchScaleFleetStep(b, 0) }
+
+// BenchmarkScaleFleetStep1MSharded8 steps the 8-shard ShardedFleet
+// under the identical one-million-job world; the acceptance bar is
+// ≥ 3× the serial Step throughput.
+func BenchmarkScaleFleetStep1MSharded8(b *testing.B) { benchScaleFleetStep(b, 8) }
 
 // BenchmarkScheddSubmit measures the full HTTP submission path — JSON
 // over a real TCP connection into the fleet — which bounds the job

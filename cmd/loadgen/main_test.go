@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencySummaryNearestRank pins the percentile-reporting fix: the
+// reported tail must be an observed latency, and for small samples the
+// p99 must be the slowest request rather than an interpolation below
+// it.
+func TestLatencySummaryNearestRank(t *testing.T) {
+	lats := []float64{2, 1, 3, 1, 2, 1, 2, 1, 1, 120} // 10 requests, one outlier
+	p50, p95, p99, max := latencySummary(lats)
+	if p50 != 1 {
+		t.Errorf("p50 = %v, want 1", p50)
+	}
+	if p95 != 120 || p99 != 120 || max != 120 {
+		t.Errorf("tail = p95 %v p99 %v max %v, want the 120ms outlier for all", p95, p99, max)
+	}
+
+	// 200 identical-but-one samples: p99 now sits below the outlier.
+	many := make([]float64, 200)
+	for i := range many {
+		many[i] = 5
+	}
+	many[0] = 500
+	_, _, p99, max = latencySummary(many)
+	if p99 != 5 || max != 500 {
+		t.Errorf("large-sample tail = p99 %v max %v, want 5 and 500", p99, max)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"steady", "bursty", "diurnal", "migratable-heavy"} {
+		p, err := profileByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.name != name {
+			t.Fatalf("profile %q reports name %q", name, p.name)
+		}
+	}
+	if _, err := profileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+
+	bursty, _ := profileByName("bursty")
+	if d := bursty.delay(10, 100); d == 0 {
+		t.Error("bursty profile never pauses")
+	}
+	if d := bursty.delay(1, 100); d != 0 {
+		t.Error("bursty profile pauses mid-burst")
+	}
+	diurnal, _ := profileByName("diurnal")
+	var total time.Duration
+	for c := 0; c < 100; c++ {
+		d := diurnal.delay(c, 100)
+		if d < 0 {
+			t.Fatalf("negative delay at chunk %d", c)
+		}
+		total += d
+	}
+	if total == 0 {
+		t.Error("diurnal profile adds no pacing")
+	}
+	heavy, _ := profileByName("migratable-heavy")
+	if heavy.migratable < 0.9 || heavy.interruptible < 0.8 || heavy.slackScale <= 1 {
+		t.Errorf("migratable-heavy mix too lean: %+v", heavy)
+	}
+}

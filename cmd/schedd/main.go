@@ -44,6 +44,7 @@ func main() {
 		percentile = flag.Float64("percentile", 35, "gate percentile for the gated policies")
 		window     = flag.Int("window", 168, "lookback window in hours for carbon-gate")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		shards     = flag.Int("shards", 0, "fleet region shards stepped in parallel (0 = min(CPUs, regions)); affects throughput only, never placements")
 		speedup    = flag.Float64("speedup", 3600, "trace seconds per wall second (3600 = 1h/s)")
 		maxJobs    = flag.Int("max-jobs", schedd.DefaultMaxJobs, "bound on total jobs retained in memory")
 		maxQueue   = flag.Int("max-queue", schedd.DefaultMaxQueue, "bound on outstanding (unresolved) jobs")
@@ -88,6 +89,7 @@ func main() {
 	srv, err := schedd.New(set, clusters, schedd.Config{
 		Policy:   policy,
 		Horizon:  horizon,
+		Shards:   *shards,
 		MaxJobs:  *maxJobs,
 		MaxQueue: *maxQueue,
 		Seed:     *seed,
@@ -99,6 +101,9 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "schedd: %s policy over %d regions x %d slots on %s (replay speedup %.0fx)\n",
 		policy.Name(), len(clusters), *slots, *addr, *speedup)
+	if *shards != 0 {
+		fmt.Fprintf(os.Stderr, "schedd: fleet sharded %d ways\n", *shards)
+	}
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

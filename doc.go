@@ -32,17 +32,26 @@
 // Beyond the offline experiments, the repository runs as a live
 // system. internal/sched's incremental Fleet (Submit/Step/Snapshot) is
 // the engine behind both the batch sched.Run and internal/schedd, the
-// online scheduling service: cmd/schedd serves job submission, status,
-// and fleet statistics over HTTP against a replayed grid clock, with
-// policy selection, backpressure bounds, and a graceful drain on
+// online scheduling service; sched.ShardedFleet is its scale-out form —
+// job state and slot accounting partitioned by region into
+// independently-locked shards, stepped concurrently on the engine pool
+// with a serial cross-shard reconciliation phase, so placements stay
+// byte-identical to the serial fleet for any shard count. cmd/schedd
+// serves job submission, status, and O(1) fleet statistics over HTTP
+// against a replayed grid clock, with policy selection, a -shards
+// parallelism knob, backpressure bounds, and a graceful drain on
 // SIGINT; cmd/loadgen benchmarks it with a deterministic workload
-// stream and reports throughput, latency percentiles, and the carbon
-// saving versus an offline FIFO baseline. cmd/carbonapi is the
-// matching carbon-information API (Electricity Maps-style), including
-// a batch endpoint for multi-region consumers. The online and offline
-// paths are provably the same scheduler: an equivalence test asserts
-// byte-identical placements and emissions between an HTTP-driven run
-// and sched.Run.
+// stream shaped by -profile (steady, bursty, diurnal,
+// migratable-heavy) and reports throughput, nearest-rank latency
+// percentiles, and the carbon saving versus an offline FIFO baseline.
+// cmd/carbonapi is the matching carbon-information API (Electricity
+// Maps-style), including a batch endpoint for multi-region consumers.
+// The online and offline paths are provably the same scheduler:
+// equivalence tests assert byte-identical placements and emissions
+// between an HTTP-driven run, the sharded fleet at shard counts 1, 4,
+// and 16, and sched.Run, and property-based invariant tests plus
+// native fuzz targets (request parsing, client error mapping) harden
+// the serving surface.
 //
 // Determinism is load-bearing: stochastic cells derive their random
 // streams by pre-splitting an explicitly seeded generator

@@ -43,12 +43,21 @@ func DoJSON(hc *http.Client, req *http.Request, prefix string, out any) error {
 	if err != nil {
 		return fmt.Errorf("%s: reading response: %w", prefix, err)
 	}
-	if resp.StatusCode != http.StatusOK {
+	return DecodeResponse(resp.StatusCode, resp.Status, body, prefix, out)
+}
+
+// DecodeResponse maps one already-read response to the typed result:
+// a 200 body is decoded into out, any other status becomes an error
+// carrying the server's {"error": ...} message when the body holds
+// one. It is the pure core of DoJSON, separated so the error-mapping
+// path can be exercised (and fuzzed) without a live connection.
+func DecodeResponse(statusCode int, status string, body []byte, prefix string, out any) error {
+	if statusCode != http.StatusOK {
 		var apiErr errorBody
 		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s: %s: %s", prefix, resp.Status, apiErr.Error)
+			return fmt.Errorf("%s: %s: %s", prefix, status, apiErr.Error)
 		}
-		return fmt.Errorf("%s: unexpected status %s", prefix, resp.Status)
+		return fmt.Errorf("%s: unexpected status %s", prefix, status)
 	}
 	if err := json.Unmarshal(body, out); err != nil {
 		return fmt.Errorf("%s: decoding response: %w", prefix, err)

@@ -1,0 +1,704 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"carbonshift/internal/engine"
+	"carbonshift/internal/trace"
+)
+
+// ErrHorizonExhausted is returned by SubmitNow once the fleet has
+// stepped through its whole horizon and can no longer admit work.
+var ErrHorizonExhausted = fmt.Errorf("sched: replay horizon exhausted")
+
+// ShardedFleet is the scale-out form of Fleet: job state and slot
+// accounting are partitioned by region into independently-locked
+// shards, and every Step fans the per-job scanning and advancement work
+// across the shards on the engine worker pool. The cross-shard
+// decisions — deadline spillover of migratable jobs, the policy's
+// global placement pass, and the OnPlace recorder — run in a serial
+// reconciliation phase over merged, submission-ordered views, so
+// placements and the aggregate Result are byte-identical to the serial
+// Fleet for any shard count.
+//
+// Two additional structural optimizations fall out of sharding (both
+// invisible to results): jobs that have not yet arrived wait in
+// per-shard arrival buckets instead of being rescanned every hour, and
+// completed jobs are compacted out of the active lists. A Step
+// therefore costs O(active jobs / shards) in parallel plus O(eligible)
+// serial policy work, where the serial Fleet pays O(all jobs) per
+// phase.
+//
+// Unlike Fleet, a ShardedFleet is safe for concurrent use: Step
+// excludes everything else, while Submit, Lookup, Stats, and Snapshot
+// may run concurrently with each other (Submits to different shards
+// only contend on a short id-registry critical section).
+//
+// Lock hierarchy (always acquired in this order, never the reverse):
+// world mu (RLock for Submit/Lookup/Stats/Snapshot, Lock for Step) →
+// idMu (id registry, submission order) → shard.mu (one shard's lists).
+type ShardedFleet struct {
+	set     *trace.Set
+	policy  Policy
+	horizon int
+
+	regionsList []string
+	regionIdx   map[string]int // region code -> index
+	traces      []*trace.Trace // by region index
+	slotsByIdx  []int          // by region index
+	slots       map[string]int
+	totalSlots  int
+	shardOf     []int // region index -> owning shard
+
+	shards []*fleetShard
+
+	// mu is the world lock: Step (and the serial reconciliation inside
+	// it) holds it exclusively; every other entry point holds it shared.
+	mu   sync.RWMutex
+	hour int
+
+	// idMu guards the cross-shard id registry and submission order.
+	idMu      sync.Mutex
+	byID      map[int]*sstate
+	order     []*sstate
+	submitted atomic.Int64
+
+	// Serial-phase scratch and incrementally-maintained aggregates.
+	// All of it is touched only under mu.Lock (Step) — except buckets,
+	// which Submit also grows under idMu; Submit holds mu.RLock, so it
+	// can never race a Step.
+	free        []int // per-region free slots, written disjointly by shards
+	mergeIdx    []int
+	poolBuf     []*sstate
+	placedBuf   []*sstate
+	completed   int
+	missedDone  int     // completed past their deadline
+	overdueOpen int     // unresolved jobs whose deadline has passed
+	ranLast     int     // non-done jobs that ran in the most recent Step
+	emissionsG  float64 // accumulated in execution order (see Stats)
+	slotHours   float64
+	buckets     map[int]int // deadline hour -> unresolved jobs due then
+
+	// OnPlace, when non-nil, observes every executed job-hour in
+	// deterministic submission order, exactly as Fleet.OnPlace does.
+	// Set it before the first Step; it must not call back into the
+	// fleet.
+	OnPlace func(hour, jobID int, region string)
+}
+
+// sstate is the sharded fleet's per-job bookkeeping. It mirrors state
+// but carries the submission sequence (for deterministic merges), the
+// owning-region index, and a last-run hour instead of a per-step
+// ran-last-hour flag so no reset pass over all jobs is needed.
+type sstate struct {
+	Job
+	seq        int
+	originI    int
+	progress   int
+	region     string
+	regionI    int // current region index, -1 before the first run
+	placed     int // per-Step scratch: region index placed this hour, -1
+	lastRun    int // hour of the most recent run, -1 never
+	done       bool
+	doneAt     int
+	emissions  float64
+	waitHours  int
+	migrations int
+}
+
+// fleetShard owns a disjoint set of regions, the jobs currently (or
+// originally, before first placement) homed there, and the future
+// arrivals bound for them.
+type fleetShard struct {
+	mu      sync.Mutex // serializes Submit insertions into this shard
+	regions []int
+	active  []*sstate         // arrived, uncompleted jobs, seq-sorted
+	pending map[int][]*sstate // arrival hour -> jobs, each seq-sorted
+
+	// Per-Step scratch, reused across steps.
+	pool      []*sstate // actives minus forced continuations, seq-sorted
+	placedRun []*sstate // jobs that ran this step, seq-sorted
+	movedOut  []*sstate // jobs whose new region belongs to another shard
+}
+
+// NewShardedFleet validates the world and returns an empty sharded
+// fleet at hour zero. A shard count of 0 defaults to
+// min(GOMAXPROCS, number of clusters); counts above the region count
+// are allowed (the extra shards simply own no regions), so a fixed
+// configuration behaves identically on any machine.
+func NewShardedFleet(set *trace.Set, clusters []Cluster, policy Policy, horizon, shards int) (*ShardedFleet, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	if horizon < 1 || horizon > set.Len() {
+		return nil, fmt.Errorf("sched: horizon %d outside trace of %d hours", horizon, set.Len())
+	}
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("sched: no clusters")
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("sched: negative shard count %d", shards)
+	}
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > len(clusters) {
+			shards = len(clusters)
+		}
+	}
+	f := &ShardedFleet{
+		set:       set,
+		policy:    policy,
+		horizon:   horizon,
+		slots:     make(map[string]int, len(clusters)),
+		regionIdx: make(map[string]int, len(clusters)),
+		byID:      make(map[int]*sstate),
+		buckets:   make(map[int]int),
+	}
+	for _, c := range clusters {
+		if c.Slots < 1 {
+			return nil, fmt.Errorf("sched: cluster %s has %d slots", c.Region, c.Slots)
+		}
+		if _, ok := set.Get(c.Region); !ok {
+			return nil, fmt.Errorf("sched: cluster region %q not in trace set", c.Region)
+		}
+		if _, dup := f.slots[c.Region]; dup {
+			return nil, fmt.Errorf("sched: duplicate cluster %s", c.Region)
+		}
+		f.slots[c.Region] = c.Slots
+		f.regionsList = append(f.regionsList, c.Region)
+		f.totalSlots += c.Slots
+	}
+	sort.Strings(f.regionsList)
+	f.traces = make([]*trace.Trace, len(f.regionsList))
+	f.slotsByIdx = make([]int, len(f.regionsList))
+	f.shardOf = make([]int, len(f.regionsList))
+	f.free = make([]int, len(f.regionsList))
+	f.shards = make([]*fleetShard, shards)
+	for i := range f.shards {
+		f.shards[i] = &fleetShard{pending: make(map[int][]*sstate)}
+	}
+	for i, r := range f.regionsList {
+		f.regionIdx[r] = i
+		f.traces[i] = f.set.MustGet(r)
+		f.slotsByIdx[i] = f.slots[r]
+		si := i % shards
+		f.shardOf[i] = si
+		f.shards[si].regions = append(f.shards[si].regions, i)
+	}
+	f.mergeIdx = make([]int, shards)
+	return f, nil
+}
+
+// Hour returns the next hour the fleet will simulate.
+func (f *ShardedFleet) Hour() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.hour
+}
+
+// Horizon returns the exclusive final hour.
+func (f *ShardedFleet) Horizon() int { return f.horizon }
+
+// Done reports whether the fleet has simulated its whole horizon.
+func (f *ShardedFleet) Done() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.hour >= f.horizon
+}
+
+// NumShards returns the shard count.
+func (f *ShardedFleet) NumShards() int { return len(f.shards) }
+
+// Jobs returns the number of jobs submitted so far.
+func (f *ShardedFleet) Jobs() int { return int(f.submitted.Load()) }
+
+// Outstanding returns the number of submitted jobs that have not yet
+// completed, in O(1) — the backpressure signal for online admission.
+func (f *ShardedFleet) Outstanding() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int(f.submitted.Load()) - f.completed
+}
+
+// Regions lists the cluster regions in sorted order.
+func (f *ShardedFleet) Regions() []string {
+	out := make([]string, len(f.regionsList))
+	copy(out, f.regionsList)
+	return out
+}
+
+// Slots returns the slot count of one region's cluster (0 if unknown).
+func (f *ShardedFleet) Slots(region string) int { return f.slots[region] }
+
+// Submit adds jobs to the fleet at their own arrival hours. The call is
+// atomic: on any validation error no job from the batch is admitted.
+// Safe for concurrent use; jobs bound for different shards only contend
+// on the id registry.
+func (f *ShardedFleet) Submit(jobs ...Job) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, err := f.submitRLocked(jobs, false)
+	return err
+}
+
+// SubmitNow stamps every job's arrival with the fleet's current hour —
+// the online-service admission path, where work always arrives "now" —
+// and returns the arrival hour used. It fails with ErrHorizonExhausted
+// once the replay is over.
+func (f *ShardedFleet) SubmitNow(jobs ...Job) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.hour >= f.horizon {
+		return 0, ErrHorizonExhausted
+	}
+	return f.submitRLocked(jobs, true)
+}
+
+// submitRLocked validates and admits a batch. The world read lock must
+// be held: it freezes f.hour and excludes Step.
+func (f *ShardedFleet) submitRLocked(jobs []Job, stampNow bool) (int, error) {
+	if stampNow {
+		for i := range jobs {
+			jobs[i].Arrival = f.hour
+		}
+	}
+	states := make([]*sstate, len(jobs))
+
+	f.idMu.Lock()
+	inBatch := make(map[int]struct{}, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			f.idMu.Unlock()
+			return 0, err
+		}
+		if _, ok := f.slots[j.Origin]; !ok {
+			f.idMu.Unlock()
+			return 0, fmt.Errorf("sched: job %d origin %q has no cluster", j.ID, j.Origin)
+		}
+		if _, dup := f.byID[j.ID]; dup {
+			f.idMu.Unlock()
+			return 0, fmt.Errorf("sched: duplicate job id %d", j.ID)
+		}
+		if _, dup := inBatch[j.ID]; dup {
+			f.idMu.Unlock()
+			return 0, fmt.Errorf("sched: duplicate job id %d", j.ID)
+		}
+		if j.Arrival < f.hour {
+			f.idMu.Unlock()
+			return 0, fmt.Errorf("sched: job %d arrives at hour %d, before current hour %d", j.ID, j.Arrival, f.hour)
+		}
+		inBatch[j.ID] = struct{}{}
+	}
+	// Past this point nothing can fail: register, then insert per shard.
+	for i, j := range jobs {
+		st := &sstate{
+			Job:     j,
+			seq:     len(f.order),
+			originI: f.regionIdx[j.Origin],
+			regionI: -1,
+			placed:  -1,
+			lastRun: -1,
+		}
+		states[i] = st
+		f.byID[j.ID] = st
+		f.order = append(f.order, st)
+		f.buckets[j.Deadline()]++
+	}
+	f.submitted.Add(int64(len(jobs)))
+	f.idMu.Unlock()
+
+	for _, st := range states {
+		sh := f.shards[f.shardOf[st.originI]]
+		sh.mu.Lock()
+		if st.Arrival <= f.hour {
+			sh.active = insertBySeq(sh.active, st)
+		} else {
+			sh.pending[st.Arrival] = insertBySeq(sh.pending[st.Arrival], st)
+		}
+		sh.mu.Unlock()
+	}
+	return f.hour, nil
+}
+
+// insertBySeq inserts st into a seq-sorted list. Submissions carry
+// increasing seqs, so this is almost always a plain append; only
+// batches racing into the same shard pay the insertion copy.
+func insertBySeq(list []*sstate, st *sstate) []*sstate {
+	if n := len(list); n == 0 || list[n-1].seq < st.seq {
+		return append(list, st)
+	}
+	i := sort.Search(len(list), func(k int) bool { return list[k].seq > st.seq })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = st
+	return list
+}
+
+// mergeBySeq merges two seq-sorted lists into dst (reset first).
+func mergeBySeq(dst, a, b []*sstate) []*sstate {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].seq < b[j].seq {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// mergeShards k-way-merges one seq-sorted list per shard into buf.
+func (f *ShardedFleet) mergeShards(buf []*sstate, get func(*fleetShard) []*sstate) []*sstate {
+	buf = buf[:0]
+	idx := f.mergeIdx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best, bestSeq := -1, 0
+		for si, sh := range f.shards {
+			l := get(sh)
+			if idx[si] >= len(l) {
+				continue
+			}
+			if s := l[idx[si]].seq; best < 0 || s < bestSeq {
+				best, bestSeq = si, s
+			}
+		}
+		if best < 0 {
+			return buf
+		}
+		buf = append(buf, get(f.shards[best])[idx[best]])
+		idx[best]++
+	}
+}
+
+// Step simulates the fleet's current hour and advances to the next,
+// with the same semantics and error conditions as Fleet.Step. The
+// per-shard scans and the world advancement run concurrently on the
+// engine pool; all cross-shard slot contention is resolved serially in
+// submission order, which is what makes the outcome independent of the
+// shard count.
+func (f *ShardedFleet) Step() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hour >= f.horizon {
+		return fmt.Errorf("sched: horizon %d exhausted", f.horizon)
+	}
+	hour := f.hour
+	ctx := context.Background()
+
+	// Phase 1 (parallel): each shard injects this hour's arrivals,
+	// resets its regions' free counts (disjoint slice indices), claims
+	// slots for forced continuations — a started non-interruptible job
+	// occupies its current region, which by the move invariant is owned
+	// by this shard — and collects everything else into its seq-sorted
+	// candidate pool.
+	_ = engine.ForEach(ctx, 0, len(f.shards), func(_ context.Context, si int) error {
+		sh := f.shards[si]
+		if batch := sh.pending[hour]; len(batch) > 0 {
+			sh.pool = mergeBySeq(sh.pool, sh.active, batch) // reuse pool as scratch
+			sh.active, sh.pool = sh.pool, sh.active
+			delete(sh.pending, hour)
+		}
+		for _, ri := range sh.regions {
+			f.free[ri] = f.slotsByIdx[ri]
+		}
+		sh.pool = sh.pool[:0]
+		for _, st := range sh.active {
+			st.placed = -1
+			if st.progress > 0 && !st.Interruptible {
+				st.placed = st.regionI
+				f.free[st.regionI]--
+			} else {
+				sh.pool = append(sh.pool, st)
+			}
+		}
+		return nil
+	})
+
+	// Phase 2 (serial): deadline forcing in global submission order —
+	// a job with no slack left must run now, in its current/origin
+	// region or (if migratable) the first region with space. This is
+	// where cross-shard slot stealing happens, so it cannot be
+	// parallelized without changing outcomes.
+	pool := f.mergeShards(f.poolBuf, func(sh *fleetShard) []*sstate { return sh.pool })
+	f.poolBuf = pool
+	for _, st := range pool {
+		remaining := st.Length - st.progress
+		if st.Deadline()-hour > remaining {
+			continue
+		}
+		ri := st.regionI
+		if ri < 0 {
+			ri = st.originI
+		}
+		if f.free[ri] <= 0 && st.Migratable {
+			for j := range f.regionsList {
+				if f.free[j] > 0 {
+					ri = j
+					break
+				}
+			}
+		}
+		if f.free[ri] > 0 {
+			st.placed = ri
+			f.free[ri]--
+		}
+	}
+
+	// Phase 3 (serial): the policy's global placement pass over the
+	// flexible remainder, with exactly the Tick the serial Fleet builds.
+	freeSlots := make(map[string]int, len(f.regionsList))
+	for i, r := range f.regionsList {
+		freeSlots[r] = f.free[i]
+	}
+	tick := &Tick{
+		Hour:    hour,
+		Regions: f.regionsList,
+		CI:      func(region string) float64 { return f.set.MustGet(region).At(hour) },
+		Lookback: func(region string, n int) []float64 {
+			lo := hour - n
+			if lo < 0 {
+				lo = 0
+			}
+			return f.set.MustGet(region).CI[lo:hour]
+		},
+		FreeSlots: freeSlots,
+	}
+	for _, st := range pool {
+		if st.placed >= 0 {
+			continue
+		}
+		tick.Eligible = append(tick.Eligible, JobView{
+			ID:              st.ID,
+			Origin:          st.Origin,
+			Remaining:       st.Length - st.progress,
+			HoursToDeadline: st.Deadline() - hour,
+			Interruptible:   st.Interruptible,
+			Migratable:      st.Migratable,
+		})
+	}
+	// No idMu here: Step holds the exclusive world lock, and every
+	// byID writer first takes the shared world lock.
+	for _, p := range f.policy.Plan(tick) {
+		st, ok := f.byID[p.JobID]
+		if !ok {
+			return fmt.Errorf("sched: policy %s placed unknown job %d", f.policy.Name(), p.JobID)
+		}
+		if st.done || st.Arrival > hour {
+			return fmt.Errorf("sched: policy %s placed ineligible job %d", f.policy.Name(), p.JobID)
+		}
+		if st.placed >= 0 {
+			return fmt.Errorf("sched: policy %s double-placed job %d", f.policy.Name(), p.JobID)
+		}
+		ri, ok := f.regionIdx[p.Region]
+		if !ok {
+			return fmt.Errorf("sched: policy %s used unknown region %q", f.policy.Name(), p.Region)
+		}
+		if !st.Migratable && p.Region != st.Origin {
+			return fmt.Errorf("sched: policy %s migrated pinned job %d", f.policy.Name(), st.ID)
+		}
+		if f.free[ri] <= 0 {
+			return fmt.Errorf("sched: policy %s oversubscribed region %s", f.policy.Name(), p.Region)
+		}
+		st.placed = ri
+		f.free[ri]--
+	}
+
+	// Phase 4 (parallel): advance the world. Every job's mutation is
+	// shard-local; slot accounting is already final, so a job placed
+	// into another shard's region is advanced here by its old owner and
+	// handed over below. Completed and migrated-away jobs are compacted
+	// out of the active list.
+	_ = engine.ForEach(ctx, 0, len(f.shards), func(_ context.Context, si int) error {
+		sh := f.shards[si]
+		sh.placedRun = sh.placedRun[:0]
+		sh.movedOut = sh.movedOut[:0]
+		keep := sh.active[:0]
+		for _, st := range sh.active {
+			if st.placed < 0 {
+				st.waitHours++
+				keep = append(keep, st)
+				continue
+			}
+			ri := st.placed
+			if st.regionI >= 0 && st.regionI != ri {
+				st.migrations++
+			}
+			st.regionI = ri
+			st.region = f.regionsList[ri]
+			st.lastRun = hour
+			st.progress++
+			st.emissions += f.traces[ri].At(hour)
+			sh.placedRun = append(sh.placedRun, st)
+			if st.progress == st.Length {
+				st.done = true
+				st.doneAt = hour + 1
+				continue
+			}
+			if f.shardOf[ri] != si {
+				sh.movedOut = append(sh.movedOut, st)
+				continue
+			}
+			keep = append(keep, st)
+		}
+		// Clear the compacted tail so dropped pointers do not pin the
+		// whole backing array's view of them as live list entries.
+		for i := len(keep); i < len(sh.active); i++ {
+			sh.active[i] = nil
+		}
+		sh.active = keep
+		return nil
+	})
+
+	// Serial epilogue: fire the recorder and fold the aggregates in
+	// submission order, complete the deadline bookkeeping, and hand
+	// migrated jobs to their new owning shards.
+	placed := f.mergeShards(f.placedBuf, func(sh *fleetShard) []*sstate { return sh.placedRun })
+	f.placedBuf = placed
+	f.ranLast = 0
+	for _, st := range placed {
+		f.slotHours++
+		f.emissionsG += f.traces[st.regionI].At(hour)
+		if f.OnPlace != nil {
+			f.OnPlace(hour, st.ID, st.region)
+		}
+		if st.done {
+			f.completed++
+			if d := st.Deadline(); d <= hour {
+				// doneAt = hour+1 > d: a late finish. Its bucket was
+				// already drained into overdueOpen when hour passed d.
+				f.overdueOpen--
+				f.missedDone++
+			} else if f.buckets[d]--; f.buckets[d] == 0 {
+				delete(f.buckets, d)
+			}
+		} else {
+			f.ranLast++
+		}
+	}
+	for _, sh := range f.shards {
+		for _, st := range sh.movedOut {
+			target := f.shards[f.shardOf[st.regionI]]
+			target.active = insertBySeq(target.active, st)
+		}
+	}
+	if n := f.buckets[hour+1]; n > 0 {
+		f.overdueOpen += n
+		delete(f.buckets, hour+1)
+	}
+	f.hour = hour + 1
+	return nil
+}
+
+// Lookup returns the live view of a submitted job, matching
+// Fleet.Lookup field for field.
+func (f *ShardedFleet) Lookup(id int) (JobInfo, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.idMu.Lock()
+	st, ok := f.byID[id]
+	f.idMu.Unlock()
+	if !ok {
+		return JobInfo{}, false
+	}
+	info := JobInfo{
+		Job:        st.Job,
+		Remaining:  st.Length - st.progress,
+		Region:     st.region,
+		Running:    st.lastRun >= 0 && st.lastRun == f.hour-1,
+		Completed:  st.done,
+		Emissions:  st.emissions,
+		WaitHours:  st.waitHours,
+		Migrations: st.migrations,
+	}
+	if st.done {
+		info.CompletedAt = st.doneAt
+		info.MissedDeadline = st.doneAt > st.Deadline()
+	} else {
+		info.MissedDeadline = st.Deadline() <= f.hour
+	}
+	return info, true
+}
+
+// Stats summarizes the fleet's current state from incrementally
+// maintained counters in O(shards)-ish constant time — no walk over
+// the job store. TotalEmissions is accumulated in execution order
+// (hour-major), so it can differ from Fleet.Stats by float rounding in
+// the last bits; every count is exact.
+func (f *ShardedFleet) Stats() FleetStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	sub := int(f.submitted.Load())
+	st := FleetStats{
+		Hour:           f.hour,
+		Horizon:        f.horizon,
+		Submitted:      sub,
+		Completed:      f.completed,
+		Missed:         f.missedDone + f.overdueOpen,
+		Running:        f.ranLast,
+		Unresolved:     sub - f.completed,
+		TotalEmissions: f.emissionsG,
+		SlotHoursUsed:  f.slotHours,
+		SlotHoursTotal: float64(f.totalSlots * f.hour),
+	}
+	st.Queued = st.Unresolved - st.Running
+	return st
+}
+
+// Snapshot aggregates the fleet's outcomes so far into a Result in job
+// submission order, byte-identical to Fleet.Snapshot for the same
+// inputs and steps.
+func (f *ShardedFleet) Snapshot() Result {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.idMu.Lock()
+	order := f.order
+	f.idMu.Unlock()
+	res := Result{
+		Policy:         f.policy.Name(),
+		SlotHoursUsed:  f.slotHours,
+		SlotHoursTotal: float64(f.totalSlots * f.horizon),
+	}
+	for _, st := range order {
+		out := Outcome{
+			Job:        st.Job,
+			Completed:  st.done,
+			Emissions:  st.emissions,
+			WaitHours:  st.waitHours,
+			Migrations: st.migrations,
+		}
+		if st.done {
+			out.CompletedAt = st.doneAt
+			out.MissedDeadline = st.doneAt > st.Deadline()
+			res.Completed++
+		} else {
+			out.MissedDeadline = st.Deadline() <= f.hour
+		}
+		if out.MissedDeadline {
+			res.Missed++
+		}
+		res.TotalEmissions += st.emissions
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	if res.Completed > 0 {
+		var wait float64
+		for _, o := range res.Outcomes {
+			if o.Completed {
+				wait += float64(o.WaitHours)
+			}
+		}
+		res.MeanWaitHours = wait / float64(res.Completed)
+	}
+	return res
+}

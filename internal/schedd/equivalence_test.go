@@ -2,6 +2,7 @@ package schedd
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -19,8 +20,11 @@ type placeRec struct {
 // same trace and policy, must produce byte-identical placements (every
 // executed job-hour, in order) and a byte-identical aggregate result —
 // emissions, waits, migrations, completions — to the offline batch
-// simulation. This is what makes the online service a faithful serving
-// form of the paper's constrained-scheduler analysis.
+// simulation, for every policy and for every fleet shard count (1, 4,
+// and 16 — fewer than, equal to, and more than the available CPU
+// parallelism). This is what makes the online service a faithful
+// serving form of the paper's constrained-scheduler analysis, and what
+// proves the sharded fleet's concurrency is invisible to clients.
 func TestOnlineEquivalence(t *testing.T) {
 	const horizon = 24 * 15
 	set := mkSet(t, horizon)
@@ -50,104 +54,107 @@ func TestOnlineEquivalence(t *testing.T) {
 		sched.SpatioTemporal{Percentile: 40, Window: 48},
 	}
 	for _, policy := range policies {
-		t.Run(policy.Name(), func(t *testing.T) {
-			// Offline reference: the batch simulator, with the same
-			// placement recorder attached to its underlying fleet.
-			var offline []placeRec
-			ref, err := sched.NewFleet(set, clusters(20), policy, horizon)
-			if err != nil {
+		// Offline reference: the batch simulator, with the same
+		// placement recorder attached to its underlying fleet.
+		var offline []placeRec
+		ref, err := sched.NewFleet(set, clusters(20), policy, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.OnPlace = func(hour, jobID int, region string) {
+			offline = append(offline, placeRec{hour, jobID, region})
+		}
+		if err := ref.Submit(jobs...); err != nil {
+			t.Fatal(err)
+		}
+		for !ref.Done() {
+			if err := ref.Step(); err != nil {
 				t.Fatal(err)
 			}
-			ref.OnPlace = func(hour, jobID int, region string) {
-				offline = append(offline, placeRec{hour, jobID, region})
-			}
-			if err := ref.Submit(jobs...); err != nil {
-				t.Fatal(err)
-			}
-			for !ref.Done() {
-				if err := ref.Step(); err != nil {
-					t.Fatal(err)
-				}
-			}
-			refResult := ref.Snapshot()
+		}
+		refResult := ref.Snapshot()
 
-			// Run, the public batch entry point, must agree with the
-			// recorded fleet (it is the same engine).
-			runResult, err := sched.Run(set, clusters(20), jobs, policy, horizon)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(refResult, runResult) {
-				t.Fatal("recorded offline fleet differs from sched.Run")
-			}
+		// Run, the public batch entry point, must agree with the
+		// recorded fleet (it is the same engine).
+		runResult, err := sched.Run(set, clusters(20), jobs, policy, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(refResult, runResult) {
+			t.Fatal("recorded offline fleet differs from sched.Run")
+		}
 
-			// Online: an HTTP server on a hand-cranked replay clock.
-			// Jobs are POSTed with their original ids exactly when the
-			// replay reaches their arrival hour.
-			var online []placeRec
-			clock := &hourClock{}
-			srv, err := New(set, clusters(20), Config{Policy: policy, Horizon: horizon},
-				WithClock(clock.now),
-				WithRecorder(func(hour, jobID int, region string) {
-					online = append(online, placeRec{hour, jobID, region})
-				}))
-			if err != nil {
-				t.Fatal(err)
-			}
-			ts := httptest.NewServer(srv.Handler())
-			defer ts.Close()
-			client, err := NewClient(ts.URL, ts.Client())
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			ctx := context.Background()
-			next := 0
-			for hour := 0; hour < horizon; hour++ {
-				clock.hour.Store(int64(hour))
-				var batch []JobRequest
-				for next < len(jobs) && jobs[next].Arrival == hour {
-					j := jobs[next]
-					id := j.ID
-					batch = append(batch, JobRequest{
-						ID:            &id,
-						Origin:        j.Origin,
-						LengthHours:   j.Length,
-						SlackHours:    j.Slack,
-						Interruptible: j.Interruptible,
-						Migratable:    j.Migratable,
-					})
-					next++
-				}
-				if len(batch) == 0 {
-					continue
-				}
-				ack, err := client.Submit(ctx, batch...)
+		for _, shards := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/shards=%d", policy.Name(), shards), func(t *testing.T) {
+				// Online: an HTTP server on a hand-cranked replay clock.
+				// Jobs are POSTed with their original ids exactly when
+				// the replay reaches their arrival hour.
+				var online []placeRec
+				clock := &hourClock{}
+				srv, err := New(set, clusters(20),
+					Config{Policy: policy, Horizon: horizon, Shards: shards},
+					WithClock(clock.now),
+					WithRecorder(func(hour, jobID int, region string) {
+						online = append(online, placeRec{hour, jobID, region})
+					}))
 				if err != nil {
 					t.Fatal(err)
 				}
-				if ack.ArrivalHour != hour {
-					t.Fatalf("arrival hour %d, want %d", ack.ArrivalHour, hour)
+				ts := httptest.NewServer(srv.Handler())
+				defer ts.Close()
+				client, err := NewClient(ts.URL, ts.Client())
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-			if next != len(jobs) {
-				t.Fatalf("submitted %d/%d jobs", next, len(jobs))
-			}
-			// Crank the clock to the end; any request drives the fleet
-			// through the remaining hours.
-			clock.hour.Store(int64(horizon))
-			if _, err := client.Stats(ctx); err != nil {
-				t.Fatal(err)
-			}
 
-			if !reflect.DeepEqual(online, offline) {
-				t.Fatalf("placement sequences differ: online %d records, offline %d", len(online), len(offline))
-			}
-			if got := srv.Snapshot(); !reflect.DeepEqual(got, runResult) {
-				t.Fatalf("online result differs from sched.Run:\nonline:  %+v\noffline: %+v",
-					summarize(got), summarize(runResult))
-			}
-		})
+				ctx := context.Background()
+				next := 0
+				for hour := 0; hour < horizon; hour++ {
+					clock.hour.Store(int64(hour))
+					var batch []JobRequest
+					for next < len(jobs) && jobs[next].Arrival == hour {
+						j := jobs[next]
+						id := j.ID
+						batch = append(batch, JobRequest{
+							ID:            &id,
+							Origin:        j.Origin,
+							LengthHours:   j.Length,
+							SlackHours:    j.Slack,
+							Interruptible: j.Interruptible,
+							Migratable:    j.Migratable,
+						})
+						next++
+					}
+					if len(batch) == 0 {
+						continue
+					}
+					ack, err := client.Submit(ctx, batch...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ack.ArrivalHour != hour {
+						t.Fatalf("arrival hour %d, want %d", ack.ArrivalHour, hour)
+					}
+				}
+				if next != len(jobs) {
+					t.Fatalf("submitted %d/%d jobs", next, len(jobs))
+				}
+				// Crank the clock to the end; any request drives the
+				// fleet through the remaining hours.
+				clock.hour.Store(int64(horizon))
+				if _, err := client.Stats(ctx); err != nil {
+					t.Fatal(err)
+				}
+
+				if !reflect.DeepEqual(online, offline) {
+					t.Fatalf("placement sequences differ: online %d records, offline %d", len(online), len(offline))
+				}
+				if got := srv.Snapshot(); !reflect.DeepEqual(got, runResult) {
+					t.Fatalf("online result differs from sched.Run:\nonline:  %+v\noffline: %+v",
+						summarize(got), summarize(runResult))
+				}
+			})
+		}
 	}
 }
 

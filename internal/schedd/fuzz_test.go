@@ -1,0 +1,65 @@
+package schedd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"carbonshift/internal/sched"
+)
+
+// FuzzDecodeSubmit fuzzes the POST /v1/jobs request-parsing path, both
+// at the decode layer (decodeSubmit must never panic and must either
+// error or yield a non-empty batch) and end to end through the handler
+// (arbitrary bodies must map to a well-formed JSON response with a
+// sane status — 200 for admitted work, 400 for garbage, 503 for
+// backpressure — never a 500, never a panic).
+func FuzzDecodeSubmit(f *testing.F) {
+	f.Add([]byte(`{"origin":"DIRTY","length_hours":3,"slack_hours":24}`))
+	f.Add([]byte(`{"id":7,"origin":"CLEAN","length_hours":1,"interruptible":true}`))
+	f.Add([]byte(`{"jobs":[{"origin":"CLEAN","length_hours":2},{"origin":"DIRTY","length_hours":1,"migratable":true}]}`))
+	f.Add([]byte(`{"jobs":[]}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"id":null,"origin":"","length_hours":-4}`))
+	f.Add([]byte(`{"jobs":[{"id":2147483647,"origin":"CLEAN","length_hours":9999999}]}`))
+
+	srv, err := New(mkSet(f, 48), clusters(4),
+		Config{Policy: sched.FIFO{}, Shards: 2, MaxQueue: 1 << 20},
+		WithClock(func() time.Time { return t0 }))
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, err := decodeSubmit(bytes.NewReader(data))
+		if err == nil && len(jobs) == 0 {
+			t.Fatal("decodeSubmit returned no error and no jobs")
+		}
+
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(data))
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		switch rr.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("body %q: unexpected status %d (%s)", data, rr.Code, rr.Body.String())
+		}
+		if !json.Valid(rr.Body.Bytes()) {
+			t.Fatalf("body %q: non-JSON response %q", data, rr.Body.String())
+		}
+		if rr.Code == http.StatusOK {
+			var ack SubmitResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &ack); err != nil {
+				t.Fatalf("body %q: bad ack: %v", data, err)
+			}
+			if ack.Accepted != len(ack.IDs) || ack.Accepted == 0 {
+				t.Fatalf("body %q: inconsistent ack %+v", data, ack)
+			}
+		}
+	})
+}

@@ -1,9 +1,9 @@
 // Package schedd is the online carbon-aware scheduling service: the
 // live, Borg/Kubernetes-shaped component that internal/sched's batch
-// simulator stands in for. It wraps an incremental sched.Fleet in an
-// HTTP API — jobs are submitted over the wire, placed by a pluggable
-// carbon-aware policy against the replayed grid, and observable while
-// they run:
+// simulator stands in for. It wraps an incremental, region-sharded
+// sched.ShardedFleet in an HTTP API — jobs are submitted over the
+// wire, placed by a pluggable carbon-aware policy against the replayed
+// grid, and observable while they run:
 //
 //	POST /v1/jobs          submit one job or a batch
 //	GET  /v1/jobs/{id}     status: queued/running/done/missed
@@ -16,15 +16,27 @@
 // answered. Because the fleet is the exact engine behind sched.Run, an
 // online run that submits the same jobs at the same hours produces
 // byte-identical placements and emissions to the offline simulation —
-// asserted by this package's equivalence test.
+// for any shard count — as asserted by this package's equivalence
+// test.
+//
+// Concurrency: the server no longer serializes every request behind
+// one mutex over a full-store walk. Stepping is guarded by stepMu with
+// a lock-free fast path for the common already-caught-up case;
+// admission (bounds + id assignment) holds the small admitMu while the
+// fleet's own shard locks take care of insertion; Lookup and Stats ride
+// the fleet's read path — Stats is O(shards) over incrementally
+// maintained counters, never a walk over the job store.
 package schedd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"carbonshift/internal/httpx"
@@ -44,6 +56,10 @@ type Config struct {
 	Policy sched.Policy
 	// Horizon is the exclusive final trace hour (default: trace length).
 	Horizon int
+	// Shards is the fleet's region-shard count; 0 picks
+	// min(GOMAXPROCS, regions). The choice affects only Step
+	// parallelism, never placements.
+	Shards int
 	// MaxJobs bounds the total jobs the in-memory store retains;
 	// submissions past it are rejected with 503 (default DefaultMaxJobs).
 	MaxJobs int
@@ -57,17 +73,30 @@ type Config struct {
 
 // Server is the online scheduling service.
 type Server struct {
-	mu      sync.Mutex
-	fleet   *sched.Fleet
-	failed  error // sticky: a policy fault poisons the service
-	nextID  int
-	started time.Time
+	fleet *sched.ShardedFleet
 
 	traceStart time.Time
 	now        func() time.Time
 	clusters   []sched.Cluster
 	cfg        Config
+
+	// stepMu serializes fleet catch-up stepping and draining. known is
+	// the highest hour the fleet is known to have reached; requests
+	// whose target hour is already covered skip the lock entirely.
+	stepMu sync.Mutex
+	known  atomic.Int64
+
+	// failed pins the first policy fault; it poisons the service.
+	failed atomic.Pointer[serverFailure]
+
+	// admitMu covers admission control: bound checks plus id
+	// assignment, so the store/queue bounds are exact even under
+	// concurrent submitters.
+	admitMu sync.Mutex
+	nextID  int
 }
+
+type serverFailure struct{ err error }
 
 // Option configures a Server.
 type Option func(*Server)
@@ -95,7 +124,7 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = DefaultMaxQueue
 	}
-	fleet, err := sched.NewFleet(set, clusters, cfg.Policy, cfg.Horizon)
+	fleet, err := sched.NewShardedFleet(set, clusters, cfg.Policy, cfg.Horizon, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +134,6 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 		now:        time.Now,
 		clusters:   clusters,
 		cfg:        cfg,
-		started:    time.Now(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -125,18 +153,37 @@ func (s *Server) hourNow() int {
 	return h
 }
 
-// advanceLocked steps the fleet to the clock's current hour. The mutex
-// must be held.
-func (s *Server) advanceLocked() error {
-	if s.failed != nil {
-		return s.failed
+func (s *Server) failure() error {
+	if f := s.failed.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// advance steps the fleet to the clock's current hour. The fast path —
+// the fleet already caught up — is a single atomic load; only requests
+// that actually cross an hour boundary contend on stepMu.
+func (s *Server) advance() error {
+	if err := s.failure(); err != nil {
+		return err
 	}
 	target := s.hourNow()
+	if int(s.known.Load()) >= target {
+		return nil
+	}
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	if err := s.failure(); err != nil {
+		return err
+	}
 	for s.fleet.Hour() < target {
 		if err := s.fleet.Step(); err != nil {
-			s.failed = err
+			s.failed.Store(&serverFailure{err})
 			return err
 		}
+	}
+	if t := int64(target); t > s.known.Load() {
+		s.known.Store(t)
 	}
 	return nil
 }
@@ -193,6 +240,7 @@ type StatsResponse struct {
 	Policy          string        `json:"policy"`
 	Hour            int           `json:"hour"`
 	Horizon         int           `json:"horizon"`
+	Shards          int           `json:"shards"`
 	Seed            uint64        `json:"seed"`
 	Clusters        []ClusterInfo `json:"clusters"`
 	Submitted       int           `json:"submitted"`
@@ -221,28 +269,39 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// decodeSubmit parses the POST /v1/jobs payload — a bare JobRequest or
+// {"jobs": [...]} — into the job batch to admit. It is the fuzzed
+// entry point of the request-parsing path.
+func decodeSubmit(r io.Reader) ([]JobRequest, error) {
 	var req SubmitRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+	if err := json.NewDecoder(r).Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if len(req.Jobs) > 0 {
+		return req.Jobs, nil
+	}
+	return []JobRequest{req.JobRequest}, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	batch, err := decodeSubmit(http.MaxBytesReader(w, r.Body, httpx.MaxBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	batch := req.Jobs
-	if len(batch) == 0 {
-		batch = []JobRequest{req.JobRequest}
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.advanceLocked(); err != nil {
+	if err := s.advance(); err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
-	arrival := s.fleet.Hour()
-	if arrival >= s.cfg.Horizon {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "replay horizon exhausted"})
-		return
-	}
+
+	// Admission: bound checks, id assignment, and the insertion itself
+	// are deliberately serialized on admitMu so the store/queue bounds
+	// stay exact and auto-assigned ids can never collide. This section
+	// is cheap (validation plus map/list inserts); the scalability win
+	// of the sharded design is that stepping, lookups, and stats no
+	// longer contend with it.
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
 	if s.fleet.Jobs()+len(batch) > s.cfg.MaxJobs {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "job store full"})
 		return
@@ -277,14 +336,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		jobs[i] = sched.Job{
 			ID:            id,
 			Origin:        jr.Origin,
-			Arrival:       arrival,
 			Length:        jr.LengthHours,
 			Slack:         jr.SlackHours,
 			Interruptible: jr.Interruptible,
 			Migratable:    jr.Migratable,
 		}
 	}
-	if err := s.fleet.Submit(jobs...); err != nil {
+	arrival, err := s.fleet.SubmitNow(jobs...)
+	if err != nil {
+		if errors.Is(err, sched.ErrHorizonExhausted) {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "replay horizon exhausted"})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
@@ -298,9 +361,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "job id must be an integer"})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.advanceLocked(); err != nil {
+	if err := s.advance(); err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
@@ -345,21 +406,22 @@ func jobState(info sched.JobInfo) string {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.advanceLocked(); err != nil {
+	if err := s.advance(); err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.statsLocked())
+	writeJSON(w, http.StatusOK, s.stats())
 }
 
-func (s *Server) statsLocked() StatsResponse {
+// stats assembles the monitoring view from the fleet's O(shards)
+// incremental counters — no job-store walk, no global lock.
+func (s *Server) stats() StatsResponse {
 	st := s.fleet.Stats()
 	resp := StatsResponse{
 		Policy:          s.cfg.Policy.Name(),
 		Hour:            st.Hour,
 		Horizon:         st.Horizon,
+		Shards:          s.fleet.NumShards(),
 		Seed:            s.cfg.Seed,
 		Submitted:       st.Submitted,
 		Completed:       st.Completed,
@@ -380,11 +442,8 @@ func (s *Server) statsLocked() StatsResponse {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	failed := s.failed
-	s.mu.Unlock()
-	if failed != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: failed.Error()})
+	if err := s.failure(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -396,24 +455,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // as in the offline simulation. It is the graceful-shutdown path: stop
 // accepting traffic, then let the world run out.
 func (s *Server) Drain() (sched.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.failed != nil {
-		return sched.Result{}, s.failed
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	if err := s.failure(); err != nil {
+		return sched.Result{}, err
 	}
 	for !s.fleet.Done() && s.fleet.Outstanding() > 0 {
 		if err := s.fleet.Step(); err != nil {
-			s.failed = err
+			s.failed.Store(&serverFailure{err})
 			return sched.Result{}, err
 		}
+	}
+	if h := int64(s.fleet.Hour()); h > s.known.Load() {
+		s.known.Store(h)
 	}
 	return s.fleet.Snapshot(), nil
 }
 
 // Snapshot returns the fleet's aggregate result so far.
 func (s *Server) Snapshot() sched.Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.fleet.Snapshot()
 }
 

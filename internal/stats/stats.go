@@ -115,6 +115,42 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// NearestRank returns the p-th percentile (0 <= p <= 100) of xs under
+// the explicit nearest-rank definition: the element at sorted position
+// ⌈p/100 · n⌉ (1-based), with p=0 mapping to the minimum. Unlike
+// Percentile's linear interpolation — the right estimator for smooth
+// distributions like the carbon-intensity history the gate policies
+// threshold — nearest-rank always returns an observed sample, which is
+// what latency reporting needs: with n=10, the p99 is the maximum, not
+// an interpolated value below every observation ever made. It panics
+// on an empty slice or out-of-range p.
+func NearestRank(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: NearestRank of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return NearestRankSorted(sorted, p)
+}
+
+// NearestRankSorted is NearestRank over an already-sorted sample,
+// skipping the defensive copy and sort — for callers reporting several
+// percentiles of one sample.
+func NearestRankSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: NearestRank of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
 // CI95 returns the half-width of the 95% confidence interval of the
 // mean of xs under a normal approximation (1.96 · σ/√n).
 func CI95(xs []float64) float64 {

@@ -111,6 +111,64 @@ func TestPercentilePanics(t *testing.T) {
 	}
 }
 
+func TestNearestRank(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2}, {25, 1}, {75, 3}, {99, 4}, {51, 3},
+	}
+	for _, c := range cases {
+		if got := NearestRank(xs, c.p); got != c.want {
+			t.Errorf("NearestRank(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := NearestRank([]float64{9}, 50); got != 9 {
+		t.Errorf("single-element nearest rank = %v", got)
+	}
+}
+
+// TestNearestRankTailSmallSamples pins the loadgen regression: for a
+// small latency sample the reported p99 must be an observed value at
+// or above every interpolated estimate — the old sort+index math
+// under-reported the tail.
+func TestNearestRankTailSmallSamples(t *testing.T) {
+	// 10 samples, one slow outlier: the p99 *is* the outlier.
+	xs := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 500}
+	if got := NearestRank(xs, 99); got != 500 {
+		t.Fatalf("p99 of 10 samples = %v, want the max (500)", got)
+	}
+	if interp := Percentile(xs, 99); interp >= 500 {
+		t.Fatalf("interpolated p99 = %v; expected it below the max (the bug this guards)", interp)
+	}
+	// With n=100 the nearest rank of p99 is the 99th sample.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	if got := NearestRank(big, 99); got != 99 {
+		t.Fatalf("p99 of 1..100 = %v, want 99", got)
+	}
+	if got := NearestRank(big, 95); got != 95 {
+		t.Fatalf("p95 of 1..100 = %v, want 95", got)
+	}
+}
+
+func TestNearestRankPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NearestRank(nil, 50) },
+		func() { NearestRank([]float64{1}, -1) },
+		func() { NearestRank([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestCI95(t *testing.T) {
 	if got := CI95([]float64{5}); got != 0 {
 		t.Fatalf("CI95 single = %v", got)
