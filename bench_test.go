@@ -31,6 +31,7 @@ import (
 	"carbonshift/internal/stats"
 	"carbonshift/internal/temporal"
 	"carbonshift/internal/trace"
+	"carbonshift/internal/wal"
 	"carbonshift/internal/workload"
 )
 
@@ -545,14 +546,34 @@ func BenchmarkScaleFleetStep1MSharded8(b *testing.B) { benchScaleFleetStep(b, 8)
 // over a real TCP connection into the fleet — which bounds the job
 // throughput cmd/loadgen can drive.
 func BenchmarkScheddSubmit(b *testing.B) {
-	set, cl := schedWorld(b, 24*30)
-	srv, err := schedd.New(set, cl, schedd.Config{
+	benchScheddSubmit(b, schedd.Config{
 		Policy:  sched.FIFO{},
 		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
-	}, schedd.WithClock(func() time.Time { return set.Start() }))
+	})
+}
+
+// BenchmarkScheddSubmitJournaled is the durable twin of
+// BenchmarkScheddSubmit: the identical HTTP path with every admission
+// appended to a write-ahead journal under batched group-commit fsync.
+// The acceptance bar of the durability layer is that this stays within
+// 2x of the in-memory path.
+func BenchmarkScheddSubmitJournaled(b *testing.B) {
+	benchScheddSubmit(b, schedd.Config{
+		Policy:  sched.FIFO{},
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+		DataDir: b.TempDir(), SnapshotEvery: 24,
+		Sync: wal.SyncBatch,
+	})
+}
+
+func benchScheddSubmit(b *testing.B, cfg schedd.Config) {
+	set, cl := schedWorld(b, 24*30)
+	srv, err := schedd.New(set, cl, cfg,
+		schedd.WithClock(func() time.Time { return set.Start() }))
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client, err := schedd.NewClient(ts.URL, ts.Client())

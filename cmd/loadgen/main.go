@@ -222,6 +222,10 @@ func main() {
 	}
 	perSec := float64(submitted) / wall.Seconds()
 	fmt.Printf("throughput       %.0f jobs/s (%.0f jobs/min)\n", perSec, perSec*60)
+	// The bench-comparable line: the same jobs/s figure the
+	// BenchmarkScheddSubmit* pair reports, in a stable machine-readable
+	// form that the CI end-to-end smoke greps and archives.
+	fmt.Printf("bench_jobs_per_sec=%d\n", int(perSec))
 	p50, p95, p99, max := latencySummary(lats)
 	fmt.Printf("submit latency   p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms (per request, batch=%d)\n",
 		p50, p95, p99, max, *batch)

@@ -13,6 +13,14 @@
 // On SIGINT/SIGTERM the HTTP server drains in-flight requests, then the
 // fleet runs forward until every admitted job is resolved, and the
 // final scheduling outcome is printed.
+//
+// With -data-dir the scheduler is durable: every admission is written
+// to an append-only journal (fsync discipline per -fsync) and the full
+// fleet state is snapshotted every -snapshot-every replay hours; after
+// a crash or kill -9, restarting with the same -data-dir recovers all
+// acknowledged work and resumes scheduling:
+//
+//	schedd -data-dir /var/lib/schedd -fsync always -snapshot-every 24
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -31,6 +40,7 @@ import (
 	"carbonshift/internal/schedd"
 	"carbonshift/internal/serve"
 	"carbonshift/internal/simgrid"
+	"carbonshift/internal/wal"
 )
 
 func main() {
@@ -48,6 +58,9 @@ func main() {
 		speedup    = flag.Float64("speedup", 3600, "trace seconds per wall second (3600 = 1h/s)")
 		maxJobs    = flag.Int("max-jobs", schedd.DefaultMaxJobs, "bound on total jobs retained in memory")
 		maxQueue   = flag.Int("max-queue", schedd.DefaultMaxQueue, "bound on outstanding (unresolved) jobs")
+		dataDir    = flag.String("data-dir", "", "durability directory: journal admissions, snapshot fleet state, and recover on start (empty = in-memory only)")
+		snapEvery  = flag.Int("snapshot-every", 24, "snapshot the fleet every N replay hours (0 = only at boot)")
+		fsyncMode  = flag.String("fsync", "batch", "journal fsync discipline: always (every ack durable), batch (group flush, bounded loss window), none")
 	)
 	flag.Parse()
 
@@ -81,22 +94,49 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The replay clock maps wall time since boot to trace hours. After a
+	// recovery the fleet is already at some hour H > 0, so the clock
+	// resumes from there (baseHours, set once New has recovered) —
+	// otherwise a restarted scheduler would freeze until wall time
+	// caught back up to H/speedup.
 	boot := time.Now()
+	var baseHours atomic.Int64
 	clock := func() time.Time {
 		simElapsed := time.Duration(float64(time.Since(boot)) * *speedup)
-		return set.Start().Add(simElapsed)
+		return set.Start().Add(time.Duration(baseHours.Load())*time.Hour + simElapsed)
+	}
+	sync, err := wal.ParseSyncMode(*fsyncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(2)
 	}
 	srv, err := schedd.New(set, clusters, schedd.Config{
-		Policy:   policy,
-		Horizon:  horizon,
-		Shards:   *shards,
-		MaxJobs:  *maxJobs,
-		MaxQueue: *maxQueue,
-		Seed:     *seed,
+		Policy:        policy,
+		Horizon:       horizon,
+		Shards:        *shards,
+		MaxJobs:       *maxJobs,
+		MaxQueue:      *maxQueue,
+		Seed:          *seed,
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapEvery,
+		Sync:          sync,
 	}, schedd.WithClock(clock))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
+	}
+	defer srv.Close()
+	baseHours.Store(int64(srv.Hour()))
+	if *dataDir != "" {
+		if rec := srv.Recovery(); rec.Recovered {
+			fmt.Fprintf(os.Stderr,
+				"schedd: recovered %d jobs at hour %d from %s (snapshot hour %d, %d journal records replayed, torn tail: %v)\n",
+				rec.RecoveredJobs, srv.Hour(), *dataDir,
+				rec.RecoveredSnapshotHour, rec.ReplayedRecords, rec.TornTail)
+		} else {
+			fmt.Fprintf(os.Stderr, "schedd: journaling to %s (fsync=%s, snapshot every %dh)\n",
+				*dataDir, sync, *snapEvery)
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "schedd: %s policy over %d regions x %d slots on %s (replay speedup %.0fx)\n",
@@ -109,7 +149,12 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// os.Exit skips deferred calls, so every exit path below closes the
+	// server explicitly first: Close flushes the journal's final batch
+	// — without it an orderly error exit would lose the last -fsync
+	// batch window of acknowledged admissions, just like a kill -9.
 	if err := serve.ListenAndServe(ctx, server, serve.DefaultGrace); err != nil {
+		srv.Close()
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
@@ -119,6 +164,7 @@ func main() {
 	fmt.Fprintln(os.Stderr, "schedd: draining fleet...")
 	res, err := srv.Drain()
 	if err != nil {
+		srv.Close()
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}

@@ -50,8 +50,17 @@
 // equivalence tests assert byte-identical placements and emissions
 // between an HTTP-driven run, the sharded fleet at shard counts 1, 4,
 // and 16, and sched.Run, and property-based invariant tests plus
-// native fuzz targets (request parsing, client error mapping) harden
-// the serving surface.
+// native fuzz targets (request parsing, client error mapping, journal
+// replay) harden the serving surface.
+//
+// The service is durable: with -data-dir set, schedd journals every
+// admission and hour watermark through internal/wal (an append-only,
+// CRC-checksummed log with group-commit fsync) and periodically
+// snapshots the full fleet state via Fleet.Marshal's versioned binary
+// image; on boot it restores the newest snapshot and replays the
+// journal tail — tolerating torn final writes — recovering state
+// byte-identical to a process that never stopped, as proven by a
+// crash-point sweep test across all five policies.
 //
 // Determinism is load-bearing: stochastic cells derive their random
 // streams by pre-splitting an explicitly seeded generator

@@ -1,0 +1,608 @@
+package sched
+
+// Fleet state serialization: a versioned, deterministic binary image of
+// everything a Fleet or ShardedFleet has accumulated — the submitted
+// jobs with their full runtime bookkeeping, the current hour, and the
+// order-sensitive float aggregates — restorable into a freshly
+// constructed fleet over the same world. internal/schedd snapshots this
+// image into its write-ahead store so a crashed scheduler can recover
+// to state byte-identical to an uninterrupted run.
+//
+// Format (version 1), all integers varint-encoded (unsigned for values
+// that cannot be negative, zigzag otherwise), strings length-prefixed,
+// floats as 8 big-endian IEEE-754 bytes:
+//
+//	magic "CSFS" | version 1 | policy | horizon | hour
+//	| nregions | (region, slots)...        world fingerprint, checked
+//	| slotHours | emissionsOrdered         order-sensitive aggregates
+//	| njobs | job...                       submission order
+//	| crc32(everything above)
+//
+// Each job is: id (zigzag) | origin | arrival | length | slack |
+// flags (1 interruptible, 2 migratable, 4 done) | progress |
+// regionIdx (zigzag, -1 = never placed) | lastRun (zigzag, -1 = never)
+// | doneAt | waitHours | migrations | emissions.
+//
+// The encoding is deterministic: the same fleet state always produces
+// the same bytes, which is what lets the crash-recovery tests assert
+// byte-identity between a recovered and an uninterrupted run. Golden
+// tests pin the byte layout; bump stateVersion on any change.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	stateMagic   = "CSFS"
+	stateVersion = 1
+)
+
+// Job flag bits in the serialized image.
+const (
+	flagInterruptible = 1 << iota
+	flagMigratable
+	flagDone
+)
+
+// jobImage is one job's full serialized state.
+type jobImage struct {
+	Job
+	progress   int
+	regionI    int // index into the fleet's sorted region list, -1 = none
+	lastRun    int // hour of the most recent run, -1 = never
+	done       bool
+	doneAt     int
+	waitHours  int
+	migrations int
+	emissions  float64
+}
+
+// fleetImage is the complete serialized state shared by both fleet
+// forms.
+type fleetImage struct {
+	policy  string
+	horizon int
+	hour    int
+	regions []string
+	slots   []int
+	// slotHours and emissionsOrdered are the incrementally accumulated
+	// aggregates. slotHours is integer-valued; emissionsOrdered is the
+	// execution-order (hour-major) emission sum a ShardedFleet
+	// maintains for O(1) Stats — a serial Fleet, which recomputes
+	// per-job, stores the submission-order sum instead (the two can
+	// differ in the last float bits).
+	slotHours        float64
+	emissionsOrdered float64
+	jobs             []jobImage
+}
+
+// --- binary writer/reader ---
+
+type stateEnc struct{ buf []byte }
+
+func (e *stateEnc) uvarint(v int) { e.buf = binary.AppendUvarint(e.buf, uint64(v)) }
+func (e *stateEnc) zigzag(v int)  { e.buf = binary.AppendVarint(e.buf, int64(v)) }
+func (e *stateEnc) str(s string)  { e.uvarint(len(s)); e.buf = append(e.buf, s...) }
+func (e *stateEnc) byte(b byte)   { e.buf = append(e.buf, b) }
+func (e *stateEnc) float(f float64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+type stateDec struct {
+	data []byte
+	err  error
+}
+
+func (d *stateDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("sched: state decode: "+format, args...)
+	}
+}
+
+func (d *stateDec) uvarint() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 || v > math.MaxInt64 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return int(v)
+}
+
+func (d *stateDec) zigzag() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return int(v)
+}
+
+func (d *stateDec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > len(d.data) {
+		d.fail("string length %d exceeds %d remaining bytes", n, len(d.data))
+		return ""
+	}
+	s := string(d.data[:n])
+	d.data = d.data[n:]
+	return s
+}
+
+func (d *stateDec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) == 0 {
+		d.fail("unexpected end of input")
+		return 0
+	}
+	b := d.data[0]
+	d.data = d.data[1:]
+	return b
+}
+
+func (d *stateDec) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 8 {
+		d.fail("unexpected end of input")
+		return 0
+	}
+	f := math.Float64frombits(binary.BigEndian.Uint64(d.data))
+	d.data = d.data[8:]
+	return f
+}
+
+// --- image encode/decode ---
+
+func (img *fleetImage) encode() []byte {
+	e := &stateEnc{buf: make([]byte, 0, 64+len(img.jobs)*48)}
+	e.buf = append(e.buf, stateMagic...)
+	e.byte(stateVersion)
+	e.str(img.policy)
+	e.uvarint(img.horizon)
+	e.uvarint(img.hour)
+	e.uvarint(len(img.regions))
+	for i, r := range img.regions {
+		e.str(r)
+		e.uvarint(img.slots[i])
+	}
+	e.float(img.slotHours)
+	e.float(img.emissionsOrdered)
+	e.uvarint(len(img.jobs))
+	for i := range img.jobs {
+		j := &img.jobs[i]
+		e.zigzag(j.ID)
+		e.str(j.Origin)
+		e.uvarint(j.Arrival)
+		e.uvarint(j.Length)
+		e.uvarint(j.Slack)
+		var flags byte
+		if j.Interruptible {
+			flags |= flagInterruptible
+		}
+		if j.Migratable {
+			flags |= flagMigratable
+		}
+		if j.done {
+			flags |= flagDone
+		}
+		e.byte(flags)
+		e.uvarint(j.progress)
+		e.zigzag(j.regionI)
+		e.zigzag(j.lastRun)
+		e.uvarint(j.doneAt)
+		e.uvarint(j.waitHours)
+		e.uvarint(j.migrations)
+		e.float(j.emissions)
+	}
+	e.buf = binary.BigEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
+	return e.buf
+}
+
+func decodeImage(data []byte) (*fleetImage, error) {
+	if len(data) < len(stateMagic)+1+4 {
+		return nil, fmt.Errorf("sched: state decode: %d bytes is too short", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("sched: state decode: CRC mismatch (got %08x, want %08x)", got, sum)
+	}
+	if string(body[:len(stateMagic)]) != stateMagic {
+		return nil, fmt.Errorf("sched: state decode: bad magic %q", body[:len(stateMagic)])
+	}
+	if v := body[len(stateMagic)]; v != stateVersion {
+		return nil, fmt.Errorf("sched: state decode: unsupported version %d (want %d)", v, stateVersion)
+	}
+	d := &stateDec{data: body[len(stateMagic)+1:]}
+	img := &fleetImage{}
+	img.policy = d.str()
+	img.horizon = d.uvarint()
+	img.hour = d.uvarint()
+	nr := d.uvarint()
+	if d.err == nil && nr > len(d.data) {
+		d.fail("region count %d exceeds input", nr)
+	}
+	for i := 0; i < nr && d.err == nil; i++ {
+		img.regions = append(img.regions, d.str())
+		img.slots = append(img.slots, d.uvarint())
+	}
+	img.slotHours = d.float()
+	img.emissionsOrdered = d.float()
+	nj := d.uvarint()
+	if d.err == nil && nj > len(d.data) {
+		d.fail("job count %d exceeds input", nj)
+	}
+	for i := 0; i < nj && d.err == nil; i++ {
+		var j jobImage
+		j.ID = d.zigzag()
+		j.Origin = d.str()
+		j.Arrival = d.uvarint()
+		j.Length = d.uvarint()
+		j.Slack = d.uvarint()
+		flags := d.byte()
+		j.Interruptible = flags&flagInterruptible != 0
+		j.Migratable = flags&flagMigratable != 0
+		j.done = flags&flagDone != 0
+		j.progress = d.uvarint()
+		j.regionI = d.zigzag()
+		j.lastRun = d.zigzag()
+		j.doneAt = d.uvarint()
+		j.waitHours = d.uvarint()
+		j.migrations = d.uvarint()
+		j.emissions = d.float()
+		img.jobs = append(img.jobs, j)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != 0 {
+		return nil, fmt.Errorf("sched: state decode: %d trailing bytes", len(d.data))
+	}
+	return img, nil
+}
+
+// checkWorld verifies the image was taken from the same scheduling
+// world as the restoring fleet: policy, horizon, and the exact region
+// and slot configuration.
+func (img *fleetImage) checkWorld(policy string, horizon int, regions []string, slots map[string]int) error {
+	if img.policy != policy {
+		return fmt.Errorf("sched: state restore: snapshot policy %q, fleet runs %q", img.policy, policy)
+	}
+	if img.horizon != horizon {
+		return fmt.Errorf("sched: state restore: snapshot horizon %d, fleet has %d", img.horizon, horizon)
+	}
+	if img.hour > horizon {
+		return fmt.Errorf("sched: state restore: snapshot hour %d past horizon %d", img.hour, horizon)
+	}
+	if len(img.regions) != len(regions) {
+		return fmt.Errorf("sched: state restore: snapshot has %d regions, fleet has %d", len(img.regions), len(regions))
+	}
+	for i, r := range img.regions {
+		if r != regions[i] {
+			return fmt.Errorf("sched: state restore: snapshot region %q, fleet has %q", r, regions[i])
+		}
+		if img.slots[i] != slots[r] {
+			return fmt.Errorf("sched: state restore: region %s snapshot slots %d, fleet has %d", r, img.slots[i], slots[r])
+		}
+	}
+	return nil
+}
+
+// checkJob validates one decoded job against the restoring world so a
+// corrupted-but-checksummed image cannot index out of bounds.
+func (img *fleetImage) checkJob(j *jobImage, seen map[int]bool) error {
+	if err := j.Validate(); err != nil {
+		return fmt.Errorf("sched: state restore: %w", err)
+	}
+	if seen[j.ID] {
+		return fmt.Errorf("sched: state restore: duplicate job id %d", j.ID)
+	}
+	seen[j.ID] = true
+	if j.regionI < -1 || j.regionI >= len(img.regions) {
+		return fmt.Errorf("sched: state restore: job %d region index %d out of range", j.ID, j.regionI)
+	}
+	if j.progress < 0 || j.progress > j.Length {
+		return fmt.Errorf("sched: state restore: job %d progress %d outside length %d", j.ID, j.progress, j.Length)
+	}
+	if j.done != (j.progress == j.Length) {
+		return fmt.Errorf("sched: state restore: job %d done flag inconsistent with progress", j.ID)
+	}
+	if j.progress > 0 && j.regionI < 0 {
+		return fmt.Errorf("sched: state restore: job %d has progress but no region", j.ID)
+	}
+	return nil
+}
+
+func regionIndex(regions []string, region string) int {
+	for i, r := range regions {
+		if r == region {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Fleet ---
+
+// Marshal serializes the fleet's complete state — every job's runtime
+// bookkeeping plus the hour and aggregates — into the versioned,
+// CRC-protected binary image documented at the top of this file. The
+// output is deterministic for a given state.
+func (f *Fleet) Marshal() ([]byte, error) {
+	img := &fleetImage{
+		policy:    f.policy.Name(),
+		horizon:   f.horizon,
+		hour:      f.hour,
+		regions:   f.regionsList,
+		slotHours: f.slotHoursUsed,
+		jobs:      make([]jobImage, 0, len(f.states)),
+	}
+	for _, r := range f.regionsList {
+		img.slots = append(img.slots, f.slots[r])
+	}
+	for _, st := range f.states {
+		j := jobImage{
+			Job:        st.Job,
+			progress:   st.progress,
+			regionI:    regionIndex(f.regionsList, st.region),
+			lastRun:    -1,
+			done:       st.done,
+			doneAt:     st.doneAt,
+			waitHours:  st.waitHours,
+			migrations: st.migrations,
+			emissions:  st.emissions,
+		}
+		if st.ranLastHr {
+			j.lastRun = f.hour - 1
+		}
+		img.emissionsOrdered += st.emissions
+		img.jobs = append(img.jobs, j)
+	}
+	return img.encode(), nil
+}
+
+// Unmarshal restores state serialized by Fleet.Marshal or
+// ShardedFleet.Marshal into this fleet, replacing whatever it held. The
+// fleet must have been constructed over the same world (trace regions,
+// cluster slots, policy, horizon); a mismatch is an error and leaves
+// the fleet unchanged.
+func (f *Fleet) Unmarshal(data []byte) error {
+	img, err := decodeImage(data)
+	if err != nil {
+		return err
+	}
+	if err := img.checkWorld(f.policy.Name(), f.horizon, f.regionsList, f.slots); err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(img.jobs))
+	for i := range img.jobs {
+		if err := img.checkJob(&img.jobs[i], seen); err != nil {
+			return err
+		}
+	}
+	f.hour = img.hour
+	f.slotHoursUsed = img.slotHours
+	f.states = make([]*state, 0, len(img.jobs))
+	f.byID = make(map[int]*state, len(img.jobs))
+	f.completed = 0
+	for i := range img.jobs {
+		j := &img.jobs[i]
+		st := &state{
+			Job:        j.Job,
+			progress:   j.progress,
+			ranLastHr:  j.lastRun >= 0 && j.lastRun == img.hour-1,
+			done:       j.done,
+			doneAt:     j.doneAt,
+			emissions:  j.emissions,
+			waitHours:  j.waitHours,
+			migrations: j.migrations,
+		}
+		if j.regionI >= 0 {
+			st.region = f.regionsList[j.regionI]
+		}
+		if j.done {
+			f.completed++
+		}
+		f.states = append(f.states, st)
+		f.byID[st.ID] = st
+	}
+	return nil
+}
+
+// --- ShardedFleet ---
+
+// Marshal serializes the sharded fleet's complete state into the same
+// versioned image Fleet.Marshal produces; the two forms restore into
+// each other. Safe to call concurrently with Submit/Lookup/Stats.
+func (f *ShardedFleet) Marshal() ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.idMu.Lock()
+	order := f.order
+	f.idMu.Unlock()
+	img := &fleetImage{
+		policy:           f.policy.Name(),
+		horizon:          f.horizon,
+		hour:             f.hour,
+		regions:          f.regionsList,
+		slots:            f.slotsByIdx,
+		slotHours:        f.slotHours,
+		emissionsOrdered: f.emissionsG,
+		jobs:             make([]jobImage, 0, len(order)),
+	}
+	for _, st := range order {
+		img.jobs = append(img.jobs, jobImage{
+			Job:        st.Job,
+			progress:   st.progress,
+			regionI:    st.regionI,
+			lastRun:    st.lastRun,
+			done:       st.done,
+			doneAt:     st.doneAt,
+			waitHours:  st.waitHours,
+			migrations: st.migrations,
+			emissions:  st.emissions,
+		})
+	}
+	return img.encode(), nil
+}
+
+// Unmarshal restores serialized fleet state into this sharded fleet,
+// replacing whatever it held: the job registry, the per-shard active
+// and pending lists, the deadline buckets, and every incremental
+// counter are rebuilt so subsequent Steps are byte-identical to a fleet
+// that never stopped. The fleet must have been constructed over the
+// same world; a mismatch is an error and leaves the fleet unchanged.
+func (f *ShardedFleet) Unmarshal(data []byte) error {
+	img, err := decodeImage(data)
+	if err != nil {
+		return err
+	}
+	if err := img.checkWorld(f.policy.Name(), f.horizon, f.regionsList, f.slots); err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(img.jobs))
+	for i := range img.jobs {
+		if err := img.checkJob(&img.jobs[i], seen); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.idMu.Lock()
+	defer f.idMu.Unlock()
+
+	f.hour = img.hour
+	f.slotHours = img.slotHours
+	f.emissionsG = img.emissionsOrdered
+	f.byID = make(map[int]*sstate, len(img.jobs))
+	f.order = make([]*sstate, 0, len(img.jobs))
+	f.buckets = make(map[int]int)
+	f.completed, f.missedDone, f.overdueOpen, f.ranLast = 0, 0, 0, 0
+	for _, sh := range f.shards {
+		sh.active = nil
+		sh.pending = make(map[int][]*sstate)
+	}
+	for i := range img.jobs {
+		j := &img.jobs[i]
+		st := &sstate{
+			Job:        j.Job,
+			seq:        i,
+			originI:    f.regionIdx[j.Origin],
+			progress:   j.progress,
+			regionI:    j.regionI,
+			placed:     -1,
+			lastRun:    j.lastRun,
+			done:       j.done,
+			doneAt:     j.doneAt,
+			emissions:  j.emissions,
+			waitHours:  j.waitHours,
+			migrations: j.migrations,
+		}
+		if j.regionI >= 0 {
+			st.region = f.regionsList[j.regionI]
+		}
+		f.byID[st.ID] = st
+		f.order = append(f.order, st)
+		if st.done {
+			f.completed++
+			if st.doneAt > st.Deadline() {
+				f.missedDone++
+			}
+			continue
+		}
+		// Unresolved: rebuild the deadline bookkeeping and the shard
+		// placement invariant — an active job lives in the shard of its
+		// current region (origin if it never ran), a future arrival
+		// waits in its origin shard's arrival bucket.
+		if d := st.Deadline(); d > img.hour {
+			f.buckets[d]++
+		} else {
+			f.overdueOpen++
+		}
+		if st.lastRun >= 0 && st.lastRun == img.hour-1 {
+			f.ranLast++
+		}
+		homeI := st.originI
+		if st.regionI >= 0 {
+			homeI = st.regionI
+		}
+		sh := f.shards[f.shardOf[homeI]]
+		if st.Arrival > img.hour {
+			sh.pending[st.Arrival] = append(sh.pending[st.Arrival], st)
+		} else {
+			sh.active = append(sh.active, st)
+		}
+	}
+	f.submitted.Store(int64(len(img.jobs)))
+	return nil
+}
+
+// --- job batch codec (journal admit records) ---
+
+// EncodeJobs appends a deterministic binary encoding of the job batch
+// to buf: count, then per job id (zigzag) | origin | arrival | length
+// | slack | flags. It is the payload format internal/schedd journals
+// on admission; DecodeJobs reverses it.
+func EncodeJobs(buf []byte, jobs []Job) []byte {
+	e := &stateEnc{buf: buf}
+	e.uvarint(len(jobs))
+	for _, j := range jobs {
+		e.zigzag(j.ID)
+		e.str(j.Origin)
+		e.uvarint(j.Arrival)
+		e.uvarint(j.Length)
+		e.uvarint(j.Slack)
+		var flags byte
+		if j.Interruptible {
+			flags |= flagInterruptible
+		}
+		if j.Migratable {
+			flags |= flagMigratable
+		}
+		e.byte(flags)
+	}
+	return e.buf
+}
+
+// DecodeJobs decodes a batch written by EncodeJobs and returns the
+// jobs plus any unconsumed suffix of data. It never panics on
+// malformed input.
+func DecodeJobs(data []byte) (jobs []Job, rest []byte, err error) {
+	d := &stateDec{data: data}
+	n := d.uvarint()
+	if d.err == nil && n > len(data) {
+		d.fail("job count %d exceeds input", n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		var j Job
+		j.ID = d.zigzag()
+		j.Origin = d.str()
+		j.Arrival = d.uvarint()
+		j.Length = d.uvarint()
+		j.Slack = d.uvarint()
+		flags := d.byte()
+		j.Interruptible = flags&flagInterruptible != 0
+		j.Migratable = flags&flagMigratable != 0
+		jobs = append(jobs, j)
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return jobs, d.data, nil
+}

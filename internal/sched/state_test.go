@@ -1,0 +1,282 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// stateJobs is a small deterministic mix covering every flag
+// combination: pinned, migratable, interruptible, and a future arrival.
+func stateJobs() []Job {
+	return []Job{
+		{ID: 3, Origin: "DIRTY", Arrival: 0, Length: 4, Slack: 24, Interruptible: true, Migratable: true},
+		{ID: 1, Origin: "CLEAN", Arrival: 0, Length: 2, Slack: 0},
+		{ID: 8, Origin: "DIRTY", Arrival: 2, Length: 6, Slack: 48, Interruptible: true},
+		{ID: 5, Origin: "DIRTY", Arrival: 1, Length: 1, Slack: 2, Migratable: true},
+		{ID: 9, Origin: "CLEAN", Arrival: 30, Length: 3, Slack: 12, Interruptible: true, Migratable: true},
+	}
+}
+
+// TestStateRoundTripMidRun: marshal a fleet mid-run, restore into a
+// fresh fleet, run both to the horizon — placements, Result, and the
+// final serialized state must be byte-identical, for the serial Fleet,
+// the ShardedFleet at several shard counts, and cross-form restores.
+func TestStateRoundTripMidRun(t *testing.T) {
+	const horizon, cut = 24 * 8, 50
+	set := mkSet(t, horizon)
+	jobs, err := GenerateJobs(WorkloadSpec{
+		Jobs: 60, ArrivalSpan: horizon - 48, SlackHours: 36,
+		InterruptibleFrac: 0.6, MigratableFrac: 0.5,
+		Origins: []string{"CLEAN", "DIRTY"}, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := SpatioTemporal{Percentile: 40, Window: 48}
+
+	type fleetLike interface {
+		Submit(...Job) error
+		Step() error
+		Done() bool
+		Snapshot() Result
+		Marshal() ([]byte, error)
+		Unmarshal([]byte) error
+	}
+	mk := map[string]func() fleetLike{
+		"serial": func() fleetLike {
+			f, err := NewFleet(set, clusters(6), policy, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"sharded1": func() fleetLike {
+			f, err := NewShardedFleet(set, clusters(6), policy, horizon, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"sharded4": func() fleetLike {
+			f, err := NewShardedFleet(set, clusters(6), policy, horizon, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+	}
+
+	run := func(f fleetLike, to int) {
+		t.Helper()
+		for i := 0; i < to; i++ {
+			if err := f.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for name, build := range mk {
+		for restoreName, buildRestore := range mk {
+			t.Run(name+"->"+restoreName, func(t *testing.T) {
+				ref := build()
+				if err := ref.Submit(jobs...); err != nil {
+					t.Fatal(err)
+				}
+				run(ref, cut)
+				mid, err := ref.Marshal()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Restore the mid-run image into a fresh fleet of the
+				// target form.
+				restored := buildRestore()
+				if err := restored.Unmarshal(mid); err != nil {
+					t.Fatal(err)
+				}
+				// Immediately re-marshaling must reproduce the image
+				// exactly when the forms match (the sharded forms share
+				// one layout; the serial form flattens lastRun).
+				if name == restoreName {
+					again, err := restored.Marshal()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(mid, again) {
+						t.Fatal("restore + re-marshal is not byte-identical")
+					}
+				}
+
+				// Run both to the horizon: identical outcomes.
+				run(ref, horizon-cut)
+				run(restored, horizon-cut)
+				if !reflect.DeepEqual(ref.Snapshot(), restored.Snapshot()) {
+					t.Fatal("restored fleet's final Result differs from the uninterrupted run")
+				}
+				a, err := ref.Marshal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := restored.Marshal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if name == restoreName && !bytes.Equal(a, b) {
+					t.Fatal("final serialized state differs from the uninterrupted run")
+				}
+			})
+		}
+	}
+}
+
+func TestStateRejectsCorruption(t *testing.T) {
+	const horizon = 48
+	set := mkSet(t, horizon)
+	f, err := NewShardedFleet(set, clusters(4), FIFO{}, horizon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Submit(stateJobs()...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *ShardedFleet {
+		g, err := NewShardedFleet(set, clusters(4), FIFO{}, horizon, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if err := fresh().Unmarshal(data); err != nil {
+		t.Fatalf("clean image rejected: %v", err)
+	}
+
+	// Any flipped byte must be caught by the CRC (or the version check).
+	for _, idx := range []int{0, 4, len(data) / 2, len(data) - 5, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[idx] ^= 0xff
+		if err := fresh().Unmarshal(mut); err == nil {
+			t.Fatalf("corruption at byte %d accepted", idx)
+		}
+	}
+	if err := fresh().Unmarshal(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+	if err := fresh().Unmarshal(nil); err == nil {
+		t.Fatal("empty image accepted")
+	}
+
+	// A snapshot from a different world must be refused.
+	other, err := NewShardedFleet(set, clusters(5), FIFO{}, horizon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Unmarshal(data); err == nil {
+		t.Fatal("snapshot restored into a world with different slots")
+	}
+	gate, err := NewShardedFleet(set, clusters(4), CarbonGate{Percentile: 40, Window: 24}, horizon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Unmarshal(data); err == nil {
+		t.Fatal("snapshot restored under a different policy")
+	}
+	short, err := NewShardedFleet(set, clusters(4), FIFO{}, horizon-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := short.Unmarshal(data); err == nil {
+		t.Fatal("snapshot restored into a different horizon")
+	}
+}
+
+func TestEncodeDecodeJobs(t *testing.T) {
+	jobs := stateJobs()
+	buf := EncodeJobs(nil, jobs)
+	got, rest, err := DecodeJobs(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	if !reflect.DeepEqual(got, jobs) {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, jobs)
+	}
+
+	// A suffix passes through untouched.
+	withTail := append(EncodeJobs(nil, jobs[:2]), 0xAA, 0xBB)
+	_, rest, err = DecodeJobs(withTail)
+	if err != nil || len(rest) != 2 || rest[0] != 0xAA {
+		t.Fatalf("suffix: rest=%x err=%v", rest, err)
+	}
+
+	// Garbage never panics; it errors or decodes fewer jobs.
+	for _, junk := range [][]byte{nil, {0xff}, {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, buf[:3], buf[:len(buf)-2]} {
+		if _, _, err := DecodeJobs(junk); err == nil && len(junk) > 0 && junk[0] > 0 {
+			// count>0 with a short body must error
+			t.Fatalf("junk %x decoded cleanly", junk)
+		}
+	}
+}
+
+// TestStateGolden pins the serialized byte layout (magic, version,
+// field order, CRC). A deliberate format change must bump stateVersion
+// and regenerate with:
+//
+//	go test ./internal/sched -run TestStateGolden -update
+func TestStateGolden(t *testing.T) {
+	const horizon = 48
+	set := mkSet(t, horizon)
+	f, err := NewShardedFleet(set, clusters(3), GreenestFirst{}, horizon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Submit(stateJobs()...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(img) + "\n" + hex.EncodeToString(EncodeJobs(nil, stateJobs())) + "\n"
+
+	golden := filepath.Join("testdata", "fleet_state_v1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("fleet state encoding drifted from %s:\ngot:\n%swant:\n%s(field order, varint widths, or CRC changed — bump stateVersion and regenerate with -update)",
+			golden, got, want)
+	}
+}

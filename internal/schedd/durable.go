@@ -1,0 +1,362 @@
+package schedd
+
+// The durability layer: when Config.DataDir is set, every state-
+// changing fleet event is journaled through internal/wal and the full
+// fleet image is snapshotted periodically, so a crashed or restarted
+// schedd recovers to state byte-identical to one that never stopped.
+//
+// Two record types cover everything, because fleet stepping is
+// deterministic given the trace, policy, and prior state:
+//
+//	admit     the admitted batch (with stamped arrival hour and the
+//	          post-assignment auto-id counter), appended under admitMu
+//	          — so journal order IS fleet submission order;
+//	watermark the hour the fleet advanced to, appended under stepMu.
+//
+// The two locks order records within their own type, but an admit and
+// a concurrent step may journal in either order. Replay is immune:
+// watermarks are deferred — an admit record first steps the fleet to
+// its own arrival hour, and the maximum watermark is applied at the
+// end — which reconstructs the true event order because arrival hours
+// are non-decreasing along the journal and an admit at hour h always
+// precedes, in fleet time, the step that simulates hour h.
+//
+// Recovery restores the newest valid snapshot, replays its journal
+// (tolerating a torn tail), then rotates: a fresh snapshot of the
+// recovered state and an empty next-generation journal, so replay cost
+// is bounded by one generation regardless of crash history.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"carbonshift/internal/sched"
+	"carbonshift/internal/wal"
+)
+
+// Journal record types.
+const (
+	recAdmit     = 1
+	recWatermark = 2
+)
+
+// durable holds the journaling state of a Server with a DataDir. The
+// journal pointer is guarded by the server's locks: rotation holds
+// both stepMu and admitMu, admit appends hold admitMu, watermark
+// appends hold stepMu. gen and lastSnapHour are written under those
+// same locks but read lock-free by the stats path.
+type durable struct {
+	store        *wal.Store
+	journal      *wal.Journal
+	opts         wal.Options
+	gen          atomic.Uint64
+	lastSnapHour atomic.Int64
+}
+
+// DurabilityStats is the /v1/stats view of the journaling layer.
+type DurabilityStats struct {
+	// Generation is the live snapshot+journal generation.
+	Generation uint64 `json:"generation"`
+	// LastSnapshotHour is the fleet hour of the newest snapshot.
+	LastSnapshotHour int `json:"last_snapshot_hour"`
+	// Recovered reports that boot restored a previous incarnation's
+	// state; the remaining fields describe that recovery.
+	Recovered             bool `json:"recovered"`
+	RecoveredSnapshotHour int  `json:"recovered_snapshot_hour"`
+	ReplayedRecords       int  `json:"replayed_records"`
+	RecoveredJobs         int  `json:"recovered_jobs"`
+	// TornTail reports that the recovered journal ended in a torn or
+	// corrupt write (the expected signature of a hard crash) which was
+	// discarded.
+	TornTail bool `json:"torn_tail"`
+}
+
+// openDurable recovers state from cfg.DataDir into the server's fleet
+// and leaves a fresh generation accepting appends. Called from New
+// after options are applied (so a recorder observes replayed
+// placements exactly as it would live ones).
+func (s *Server) openDurable() error {
+	store, err := wal.OpenStore(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	// Any failure from here on must release the directory lock so the
+	// operator can retry without restarting the process.
+	fail := func(err error) error {
+		store.Close()
+		return err
+	}
+	opts := wal.Options{Sync: s.cfg.Sync, BatchInterval: s.cfg.SyncInterval}
+	d := &durable{store: store, opts: opts}
+
+	gen, payload, err := store.LatestSnapshot()
+	if err != nil {
+		return fail(err)
+	}
+	if gen > 0 {
+		nextID, fleetImg, err := decodeServerSnapshot(payload)
+		if err != nil {
+			return fail(fmt.Errorf("schedd: recover %s: %w", store.SnapshotPath(gen), err))
+		}
+		if err := s.fleet.Unmarshal(fleetImg); err != nil {
+			return fail(fmt.Errorf("schedd: recover %s: %w", store.SnapshotPath(gen), err))
+		}
+		s.nextID = nextID
+		s.recovery.Recovered = true
+		s.recovery.RecoveredSnapshotHour = s.fleet.Hour()
+
+		// Replay the generation's journal tail on top. Watermarks are
+		// deferred (see the package comment above).
+		maxWatermark := s.fleet.Hour()
+		replay, err := wal.Replay(store.JournalPath(gen), func(payload []byte) error {
+			return s.applyRecord(payload, &maxWatermark)
+		})
+		if err != nil && !os.IsNotExist(err) {
+			return fail(fmt.Errorf("schedd: replay %s: %w", store.JournalPath(gen), err))
+		}
+		if err == nil {
+			s.recovery.ReplayedRecords = replay.Records
+			s.recovery.TornTail = replay.Truncated
+		}
+		if err := s.stepFleetTo(maxWatermark); err != nil {
+			return fail(fmt.Errorf("schedd: replay %s: %w", store.JournalPath(gen), err))
+		}
+		s.recovery.RecoveredJobs = s.fleet.Jobs()
+	}
+
+	// Rotate to a fresh generation: snapshot the recovered (or empty)
+	// state, open its journal, and drop everything older.
+	d.gen.Store(gen)
+	s.dur = d
+	if err := s.rotateGeneration(); err != nil {
+		s.dur = nil
+		return fail(err)
+	}
+	s.known.Store(int64(s.fleet.Hour()))
+	return nil
+}
+
+// applyRecord applies one journal record during recovery.
+func (s *Server) applyRecord(payload []byte, maxWatermark *int) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	switch payload[0] {
+	case recAdmit:
+		arrival, next, jobs, err := decodeAdmit(payload)
+		if err != nil {
+			return err
+		}
+		if err := s.stepFleetTo(arrival); err != nil {
+			return err
+		}
+		if err := s.fleet.Submit(jobs...); err != nil {
+			return err
+		}
+		s.nextID = next
+		return nil
+	case recWatermark:
+		hour, err := decodeWatermark(payload)
+		if err != nil {
+			return err
+		}
+		if hour > *maxWatermark {
+			*maxWatermark = hour
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown journal record type %d", payload[0])
+	}
+}
+
+// stepFleetTo steps the fleet up to the given hour during recovery.
+func (s *Server) stepFleetTo(hour int) error {
+	for s.fleet.Hour() < hour {
+		if err := s.fleet.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateGeneration writes a snapshot of the current state as
+// generation gen+1, opens that generation's journal, and garbage-
+// collects older generations. Callers must exclude concurrent
+// admissions and steps (boot does trivially; live rotation holds
+// stepMu and admitMu).
+func (s *Server) rotateGeneration() error {
+	d := s.dur
+	fleetImg, err := s.fleet.Marshal()
+	if err != nil {
+		return err
+	}
+	next := d.gen.Load() + 1
+	if err := d.store.WriteSnapshot(next, encodeServerSnapshot(s.nextID, fleetImg)); err != nil {
+		return err
+	}
+	j, err := wal.Create(d.store.JournalPath(next), d.opts)
+	if err != nil {
+		return err
+	}
+	if d.journal != nil {
+		d.journal.Close()
+	}
+	d.journal = j
+	d.gen.Store(next)
+	d.lastSnapHour.Store(int64(s.fleet.Hour()))
+	d.store.RemoveGenerationsBelow(next)
+	return nil
+}
+
+// maybeSnapshot rotates the generation once the fleet has progressed
+// SnapshotEvery hours past the last snapshot. Called under stepMu; it
+// takes admitMu to freeze admissions across the snapshot/journal swap.
+func (s *Server) maybeSnapshot() error {
+	if s.dur == nil || s.cfg.SnapshotEvery <= 0 {
+		return nil
+	}
+	if s.fleet.Hour()-int(s.dur.lastSnapHour.Load()) < s.cfg.SnapshotEvery {
+		return nil
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	return s.rotateGeneration()
+}
+
+// journalAdmit buffers an admission record and returns the journal it
+// went to plus the record's sequence number; the caller acknowledges
+// only after WaitSynced on that pair. Must be called under admitMu,
+// after SubmitNow stamped the batch's arrival hours — buffering under
+// admitMu fixes the record order, while the durability wait happens
+// after the lock is released so concurrent submitters share one
+// group-commit fsync.
+func (s *Server) journalAdmit(arrival, nextID int, jobs []sched.Job) (*wal.Journal, uint64, error) {
+	if s.dur == nil {
+		return nil, 0, nil
+	}
+	seq, err := s.dur.journal.AppendNoWait(encodeAdmit(arrival, nextID, jobs))
+	return s.dur.journal, seq, err
+}
+
+// journalWatermark appends the hour the fleet advanced to. Must be
+// called under stepMu.
+func (s *Server) journalWatermark(hour int) error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.journal.Append(encodeWatermark(hour))
+}
+
+// Close flushes and closes the journal and releases the data
+// directory's lock. The server must no longer be serving; idempotent,
+// nil-safe without a DataDir.
+func (s *Server) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	var err error
+	if s.dur.journal != nil {
+		err = s.dur.journal.Close()
+	}
+	if cerr := s.dur.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Recovery returns what boot restored from the data directory (the
+// zero value when there was nothing to recover or no DataDir is set).
+func (s *Server) Recovery() DurabilityStats { return s.recovery }
+
+// Hour returns the fleet's current replay hour.
+func (s *Server) Hour() int { return s.fleet.Hour() }
+
+// durabilityStats assembles the /v1/stats durability block without
+// taking any server lock — a stats poll must never wait behind a
+// catch-up step or a snapshot write. The generation and snapshot-hour
+// reads are individually atomic; a rotation between them can show a
+// momentarily mixed pair, which monitoring tolerates.
+func (s *Server) durabilityStats() *DurabilityStats {
+	if s.dur == nil {
+		return nil
+	}
+	ds := s.recovery // copy of the boot-time recovery info
+	ds.Generation = s.dur.gen.Load()
+	ds.LastSnapshotHour = int(s.dur.lastSnapHour.Load())
+	return &ds
+}
+
+// --- record and snapshot codecs ---
+//
+// The server snapshot wraps the fleet image with the auto-id counter:
+// uvarint nextID | fleet bytes. Journal records are a type byte
+// followed by uvarints; the job batch uses sched's job codec. All of
+// it is pinned by golden tests.
+
+func encodeServerSnapshot(nextID int, fleetImg []byte) []byte {
+	buf := appendUvarint(make([]byte, 0, len(fleetImg)+4), nextID)
+	return append(buf, fleetImg...)
+}
+
+func decodeServerSnapshot(payload []byte) (nextID int, fleetImg []byte, err error) {
+	nextID, rest, err := readUvarint(payload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("snapshot header: %w", err)
+	}
+	return nextID, rest, nil
+}
+
+func encodeAdmit(arrival, nextID int, jobs []sched.Job) []byte {
+	buf := []byte{recAdmit}
+	buf = appendUvarint(buf, arrival)
+	buf = appendUvarint(buf, nextID)
+	return sched.EncodeJobs(buf, jobs)
+}
+
+func decodeAdmit(payload []byte) (arrival, nextID int, jobs []sched.Job, err error) {
+	rest := payload[1:]
+	if arrival, rest, err = readUvarint(rest); err != nil {
+		return 0, 0, nil, fmt.Errorf("admit record: %w", err)
+	}
+	if nextID, rest, err = readUvarint(rest); err != nil {
+		return 0, 0, nil, fmt.Errorf("admit record: %w", err)
+	}
+	jobs, rest, err = sched.DecodeJobs(rest)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("admit record: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, 0, nil, fmt.Errorf("admit record: %d trailing bytes", len(rest))
+	}
+	return arrival, nextID, jobs, nil
+}
+
+func encodeWatermark(hour int) []byte {
+	return appendUvarint([]byte{recWatermark}, hour)
+}
+
+func decodeWatermark(payload []byte) (int, error) {
+	hour, rest, err := readUvarint(payload[1:])
+	if err != nil {
+		return 0, fmt.Errorf("watermark record: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("watermark record: %d trailing bytes", len(rest))
+	}
+	return hour, nil
+}
+
+func appendUvarint(buf []byte, v int) []byte {
+	return binary.AppendUvarint(buf, uint64(v))
+}
+
+func readUvarint(data []byte) (int, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 || v > math.MaxInt64 {
+		return 0, nil, fmt.Errorf("bad uvarint")
+	}
+	return int(v), data[n:], nil
+}

@@ -26,6 +26,14 @@
 // fleet's own shard locks take care of insertion; Lookup and Stats ride
 // the fleet's read path — Stats is O(shards) over incrementally
 // maintained counters, never a walk over the job store.
+//
+// Durability: with Config.DataDir set, admissions and hour watermarks
+// are journaled through internal/wal and the fleet state is
+// snapshotted periodically; New recovers whatever a previous
+// incarnation left behind — snapshot restore plus journal-tail replay,
+// torn final writes tolerated — before serving, to state
+// byte-identical to a server that never stopped (see durable.go and
+// the crash-injection tests). /v1/stats reports the recovery counters.
 package schedd
 
 import (
@@ -42,6 +50,7 @@ import (
 	"carbonshift/internal/httpx"
 	"carbonshift/internal/sched"
 	"carbonshift/internal/trace"
+	"carbonshift/internal/wal"
 )
 
 // Defaults for Config's bounds.
@@ -69,6 +78,23 @@ type Config struct {
 	// Seed is echoed in /v1/stats so load generators can reproduce the
 	// server's trace set for offline baselines.
 	Seed uint64
+
+	// DataDir, when non-empty, enables durability: admissions and hour
+	// watermarks are journaled through internal/wal, the fleet state is
+	// snapshotted periodically, and New recovers whatever a previous
+	// incarnation left in the directory before serving.
+	DataDir string
+	// SnapshotEvery is the snapshot cadence in fleet hours (0 = only
+	// the boot-time snapshot; the journal then carries the whole run).
+	SnapshotEvery int
+	// Sync is the journal fsync discipline (default wal.SyncBatch:
+	// group flushes on SyncInterval, so an ack's durability window is
+	// bounded by that interval; wal.SyncAlways makes every ack
+	// durable before it is sent).
+	Sync wal.SyncMode
+	// SyncInterval is the wal.SyncBatch flush cadence (default
+	// wal.DefaultBatchInterval).
+	SyncInterval time.Duration
 }
 
 // Server is the online scheduling service.
@@ -91,9 +117,15 @@ type Server struct {
 
 	// admitMu covers admission control: bound checks plus id
 	// assignment, so the store/queue bounds are exact even under
-	// concurrent submitters.
+	// concurrent submitters. Admission journal records are appended
+	// under it, which makes journal order equal fleet submission order.
 	admitMu sync.Mutex
 	nextID  int
+
+	// dur is the journaling state (nil without Config.DataDir);
+	// recovery describes what boot restored.
+	dur      *durable
+	recovery DurabilityStats
 }
 
 type serverFailure struct{ err error }
@@ -138,6 +170,13 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 	for _, o := range opts {
 		o(s)
 	}
+	// Recovery runs after the options so an injected recorder observes
+	// replayed placements exactly as it would have observed them live.
+	if cfg.DataDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -176,8 +215,20 @@ func (s *Server) advance() error {
 	if err := s.failure(); err != nil {
 		return err
 	}
+	stepped := false
 	for s.fleet.Hour() < target {
 		if err := s.fleet.Step(); err != nil {
+			s.failed.Store(&serverFailure{err})
+			return err
+		}
+		stepped = true
+	}
+	if stepped {
+		if err := s.journalWatermark(s.fleet.Hour()); err != nil {
+			s.failed.Store(&serverFailure{err})
+			return err
+		}
+		if err := s.maybeSnapshot(); err != nil {
 			s.failed.Store(&serverFailure{err})
 			return err
 		}
@@ -252,6 +303,9 @@ type StatsResponse struct {
 	TotalEmissionsG float64       `json:"total_emissions_g"`
 	Utilization     float64       `json:"utilization"`
 	MissRate        float64       `json:"miss_rate"`
+	// Durability describes the journaling layer and the boot-time
+	// recovery; absent when the server runs in-memory only.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // ErrorResponse is the JSON error body.
@@ -293,22 +347,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
+	resp, journal, seq, status, err := s.admit(batch)
+	if err != nil {
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+	// The durability wait runs after admitMu is released: buffering the
+	// record under the lock fixed its order, and waiting outside it
+	// lets concurrent submitters share one group-commit fsync instead
+	// of serializing a full disk flush each.
+	if journal != nil {
+		if err := journal.WaitSynced(seq); err != nil {
+			s.failed.Store(&serverFailure{err})
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
 
-	// Admission: bound checks, id assignment, and the insertion itself
-	// are deliberately serialized on admitMu so the store/queue bounds
-	// stay exact and auto-assigned ids can never collide. This section
-	// is cheap (validation plus map/list inserts); the scalability win
-	// of the sharded design is that stepping, lookups, and stats no
-	// longer contend with it.
+// admit is the admission critical section: bound checks, id
+// assignment, fleet insertion, and journal-record buffering are
+// deliberately serialized on admitMu so the store/queue bounds stay
+// exact, auto-assigned ids can never collide, and journal order equals
+// fleet submission order. The section is cheap (validation plus
+// map/list inserts plus an in-memory append); the scalability win of
+// the sharded design is that stepping, lookups, stats — and the
+// journal fsync — never contend with it.
+func (s *Server) admit(batch []JobRequest) (resp SubmitResponse, journal *wal.Journal, seq uint64, status int, err error) {
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
 	if s.fleet.Jobs()+len(batch) > s.cfg.MaxJobs {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "job store full"})
-		return
+		return resp, nil, 0, http.StatusServiceUnavailable, errors.New("job store full")
 	}
 	if s.fleet.Outstanding()+len(batch) > s.cfg.MaxQueue {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "queue full"})
-		return
+		return resp, nil, 0, http.StatusServiceUnavailable, errors.New("queue full")
 	}
 	jobs := make([]sched.Job, len(batch))
 	ids := make([]int, len(batch))
@@ -345,14 +418,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	arrival, err := s.fleet.SubmitNow(jobs...)
 	if err != nil {
 		if errors.Is(err, sched.ErrHorizonExhausted) {
-			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "replay horizon exhausted"})
-			return
+			return resp, nil, 0, http.StatusServiceUnavailable, errors.New("replay horizon exhausted")
 		}
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-		return
+		return resp, nil, 0, http.StatusBadRequest, err
+	}
+	// Buffer the admission record before acknowledging (SubmitNow
+	// stamped the arrivals into jobs). A journal failure poisons the
+	// service — the fleet holds state the log does not.
+	journal, seq, err = s.journalAdmit(arrival, next, jobs)
+	if err != nil {
+		s.failed.Store(&serverFailure{err})
+		return resp, nil, 0, http.StatusInternalServerError, err
 	}
 	s.nextID = next
-	writeJSON(w, http.StatusOK, SubmitResponse{IDs: ids, ArrivalHour: arrival, Accepted: len(ids)})
+	return SubmitResponse{IDs: ids, ArrivalHour: arrival, Accepted: len(ids)}, journal, seq, http.StatusOK, nil
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -431,6 +510,7 @@ func (s *Server) stats() StatsResponse {
 		Unresolved:      st.Unresolved,
 		TotalEmissionsG: st.TotalEmissions,
 		Utilization:     st.Utilization(),
+		Durability:      s.durabilityStats(),
 	}
 	if st.Submitted > 0 {
 		resp.MissRate = float64(st.Missed) / float64(st.Submitted)
@@ -460,8 +540,22 @@ func (s *Server) Drain() (sched.Result, error) {
 	if err := s.failure(); err != nil {
 		return sched.Result{}, err
 	}
+	stepped := false
 	for !s.fleet.Done() && s.fleet.Outstanding() > 0 {
 		if err := s.fleet.Step(); err != nil {
+			s.failed.Store(&serverFailure{err})
+			return sched.Result{}, err
+		}
+		stepped = true
+	}
+	if stepped {
+		if err := s.journalWatermark(s.fleet.Hour()); err != nil {
+			s.failed.Store(&serverFailure{err})
+			return sched.Result{}, err
+		}
+	}
+	if s.dur != nil && s.dur.journal != nil {
+		if err := s.dur.journal.Sync(); err != nil {
 			s.failed.Store(&serverFailure{err})
 			return sched.Result{}, err
 		}

@@ -1,0 +1,432 @@
+// Package wal is the durability layer under the online scheduler: an
+// append-only, checksummed write-ahead journal plus an atomic snapshot
+// store, generation-numbered so a crashed process can restore the
+// latest full snapshot and replay the journal tail on top of it.
+//
+// The journal file is a fixed header (magic + format version) followed
+// by length-prefixed records, each carrying a CRC-32 of its payload:
+//
+//	"CSWL" | version 1
+//	[ len uint32 BE | crc32(payload) uint32 BE | payload ]...
+//
+// Appends are buffered and group-committed: in SyncAlways mode every
+// Append blocks until its record is fsynced, but concurrent appenders
+// share one fsync (the classic group commit), so a loaded server pays
+// roughly one disk flush per batch rather than per record. SyncBatch
+// trades a bounded loss window for throughput: a background flusher
+// fsyncs on a short interval and Append never waits. SyncNone leaves
+// flushing to the OS entirely (tests, benchmarks).
+//
+// Replay tolerates torn tails by construction: a crash mid-write
+// leaves a record whose length prefix overruns the file or whose CRC
+// does not match, and Replay stops there, reporting how many bytes
+// were valid so the caller can discard the tail. Corruption never
+// panics and never yields a partial record.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Journal file format constants.
+const (
+	journalMagic   = "CSWL"
+	journalVersion = 1
+	// HeaderLen is the size of the journal file header.
+	HeaderLen = len(journalMagic) + 1
+	// recordHeaderLen prefixes every record: 4 length + 4 CRC bytes.
+	recordHeaderLen = 8
+	// MaxRecord bounds a single record so a corrupt length prefix can
+	// never drive a huge allocation during replay.
+	MaxRecord = 64 << 20
+)
+
+// SyncMode selects the journal's fsync discipline.
+type SyncMode int
+
+const (
+	// SyncBatch (the default) fsyncs from a background flusher every
+	// Options.BatchInterval: appends never block on the disk, and a
+	// crash loses at most one interval of acknowledged records.
+	SyncBatch SyncMode = iota
+	// SyncAlways group-commits: every Append returns only after its
+	// record is fsynced, with concurrent appenders sharing one flush.
+	SyncAlways
+	// SyncNone never fsyncs; data reaches disk when the OS decides or
+	// on Close.
+	SyncNone
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// ParseSyncMode maps the -fsync flag spellings to a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch strings.ToLower(s) {
+	case "batch":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync mode %q (have always, batch, none)", s)
+	}
+}
+
+// DefaultBatchInterval is the SyncBatch flush cadence when
+// Options.BatchInterval is zero.
+const DefaultBatchInterval = 2 * time.Millisecond
+
+// Options configures a Journal.
+type Options struct {
+	// Sync is the fsync discipline (default SyncBatch).
+	Sync SyncMode
+	// BatchInterval is the SyncBatch flush cadence (default
+	// DefaultBatchInterval). Ignored in the other modes.
+	BatchInterval time.Duration
+}
+
+// Journal is an append-only record log. Append, AppendNoWait,
+// WaitSynced, and Sync are safe for concurrent use, and Close is
+// idempotent; callers should stop appending before Close — a record
+// appended concurrently with Close may miss the final flush.
+type Journal struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled when a group commit completes
+	f      *os.File
+	w      *bufio.Writer
+	mode   SyncMode
+	err    error // first write/sync failure; poisons the journal
+	closed bool
+
+	// Group-commit state (SyncAlways): seq counts appended records,
+	// synced the highest fsynced one, syncing marks the elected
+	// flusher.
+	seq     uint64
+	synced  uint64
+	syncing bool
+
+	// SyncBatch state.
+	dirty bool
+	stop  chan struct{}
+	done  chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Create creates (or truncates) a journal file and writes its header.
+// The header reaches the disk with the first synced record.
+func Create(path string, opts Options) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create journal: %w", err)
+	}
+	j := &Journal{
+		f:    f,
+		w:    bufio.NewWriterSize(f, 1<<16),
+		mode: opts.Sync,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.w.WriteString(journalMagic)
+	j.w.WriteByte(journalVersion)
+	if j.mode == SyncBatch {
+		interval := opts.BatchInterval
+		if interval <= 0 {
+			interval = DefaultBatchInterval
+		}
+		j.stop = make(chan struct{})
+		j.done = make(chan struct{})
+		go j.flusher(interval)
+	}
+	return j, nil
+}
+
+// flusher is the SyncBatch background goroutine: every interval it
+// flushes buffered records and fsyncs if anything was appended since
+// the last pass.
+func (j *Journal) flusher(interval time.Duration) {
+	defer close(j.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-tick.C:
+			j.mu.Lock()
+			if !j.dirty || j.err != nil || j.closed {
+				j.mu.Unlock()
+				continue
+			}
+			j.dirty = false
+			err := j.w.Flush()
+			j.mu.Unlock()
+			if err == nil {
+				err = j.f.Sync()
+			}
+			if err != nil {
+				j.mu.Lock()
+				if j.err == nil {
+					j.err = err
+				}
+				j.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Append writes one record. In SyncAlways mode it returns once the
+// record is durable (sharing the fsync with concurrent appenders); in
+// the other modes it returns as soon as the record is buffered. A
+// previous write or sync failure poisons the journal and is returned
+// from every subsequent call.
+func (j *Journal) Append(payload []byte) error {
+	seq, err := j.AppendNoWait(payload)
+	if err != nil {
+		return err
+	}
+	return j.WaitSynced(seq)
+}
+
+// AppendNoWait buffers one record and returns its sequence number
+// without waiting for durability, so a caller holding a lock that
+// serializes appends (and thereby fixes the record order) can release
+// it before blocking in WaitSynced — that is what lets concurrent
+// callers actually share a group commit.
+func (j *Journal) AppendNoWait(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, fmt.Errorf("wal: journal closed")
+	}
+	if j.err != nil {
+		return 0, j.err
+	}
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		j.err = err
+		return 0, err
+	}
+	if _, err := j.w.Write(payload); err != nil {
+		j.err = err
+		return 0, err
+	}
+	j.seq++
+	if j.mode == SyncBatch {
+		j.dirty = true
+	}
+	return j.seq, nil
+}
+
+// WaitSynced blocks until the record with the given sequence number is
+// durable under the journal's discipline: in SyncAlways mode it joins
+// the group commit — whoever finds no flush in flight becomes the
+// flusher for every record buffered so far, everyone else waits for a
+// flush covering their record. In the other modes durability is
+// asynchronous and WaitSynced only reports a prior journal failure.
+func (j *Journal) WaitSynced(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.mode != SyncAlways {
+		return j.err
+	}
+	return j.syncTo(seq)
+}
+
+// syncTo is the group-commit loop: it returns once record seq my is
+// fsynced. Called with mu held; temporarily releases it around the
+// disk flush.
+func (j *Journal) syncTo(my uint64) error {
+	for j.synced < my {
+		if j.err != nil {
+			return j.err
+		}
+		if j.closed {
+			return fmt.Errorf("wal: journal closed before record %d was synced", my)
+		}
+		if !j.syncing {
+			j.flushRoundLocked()
+		} else {
+			j.cond.Wait()
+		}
+	}
+	return j.err
+}
+
+// flushRoundLocked runs one flush+fsync round covering every record
+// buffered so far. Called with mu held (and j.syncing false);
+// temporarily releases mu around the fsync.
+func (j *Journal) flushRoundLocked() {
+	j.syncing = true
+	target := j.seq
+	err := j.w.Flush()
+	j.mu.Unlock()
+	if err == nil {
+		err = j.f.Sync()
+	}
+	j.mu.Lock()
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	if err == nil && j.synced < target {
+		j.synced = target
+	}
+	j.syncing = false
+	j.cond.Broadcast()
+}
+
+// Sync flushes buffered records (and the header, even when no record
+// was ever appended) and fsyncs, regardless of mode.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("wal: journal closed")
+	}
+	j.dirty = false
+	for j.syncing && j.err == nil {
+		j.cond.Wait()
+	}
+	if j.err != nil {
+		return j.err
+	}
+	j.flushRoundLocked()
+	return j.err
+}
+
+// Close flushes, fsyncs, and closes the journal. Idempotent and safe
+// to call concurrently.
+func (j *Journal) Close() error {
+	j.closeOnce.Do(func() {
+		if j.stop != nil {
+			close(j.stop)
+			<-j.done
+		}
+		err := j.Sync()
+		j.mu.Lock()
+		j.closed = true
+		j.cond.Broadcast()
+		j.mu.Unlock()
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+		j.closeErr = err
+	})
+	return j.closeErr
+}
+
+// ReplayResult reports what Replay found.
+type ReplayResult struct {
+	// Records is the number of valid records delivered to the callback.
+	Records int
+	// ValidBytes is the length of the valid prefix of the file —
+	// header plus complete, checksummed records. Everything past it is
+	// a torn or corrupt tail.
+	ValidBytes int64
+	// Truncated reports that the file held bytes past ValidBytes that
+	// did not form a valid record — a torn header, a torn write, an
+	// overrunning length prefix, or a CRC mismatch: the expected
+	// signatures of a crash mid-append.
+	Truncated bool
+}
+
+// Replay reads a journal file and invokes fn for each valid record in
+// order. It stops without error at the first torn or corrupt record
+// (see ReplayResult) — the expected wreckage of a crash. Damage that a
+// crash mid-append cannot explain is an error instead of a silent
+// empty replay: a foreign magic, an unsupported format version, or an
+// I/O failure mid-read — a caller that treated those as a benign torn
+// tail would discard (and later delete) a journal full of
+// acknowledged records. A callback error also aborts the replay and
+// is returned. The payload slice is reused across calls — fn must not
+// retain it.
+func Replay(path string, fn func(payload []byte) error) (ReplayResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer f.Close()
+
+	var res ReplayResult
+	r := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// A missing or short header — a crash before the first
+			// flush: nothing is replayable.
+			res.Truncated = true
+			return res, nil
+		}
+		return res, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	if string(hdr[:len(journalMagic)]) != journalMagic {
+		return res, fmt.Errorf("wal: %s is not a journal (bad magic %q)", path, hdr[:len(journalMagic)])
+	}
+	if v := hdr[len(journalMagic)]; v != journalVersion {
+		return res, fmt.Errorf("wal: %s: unsupported journal version %d (want %d)", path, v, journalVersion)
+	}
+	res.ValidBytes = int64(HeaderLen)
+
+	var rec [recordHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				res.Truncated = err != io.EOF
+				return res, nil
+			}
+			return res, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		n := binary.BigEndian.Uint32(rec[0:4])
+		sum := binary.BigEndian.Uint32(rec[4:8])
+		if n > MaxRecord {
+			res.Truncated = true
+			return res, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				res.Truncated = true
+				return res, nil
+			}
+			return res, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			res.Truncated = true
+			return res, nil
+		}
+		if err := fn(payload); err != nil {
+			return res, err
+		}
+		res.Records++
+		res.ValidBytes += int64(recordHeaderLen) + int64(n)
+	}
+}
