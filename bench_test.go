@@ -17,7 +17,10 @@ import (
 	"fmt"
 	"math"
 	"net/http/httptest"
+	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -589,6 +592,152 @@ func benchScheddSubmit(b *testing.B, cfg schedd.Config) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := client.Submit(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// replJournal drives a journaling schedd for `hours` replay hours with
+// a deterministic workload and reads the resulting journal back — the
+// raw record stream a replication follower would receive.
+func replJournal(b *testing.B, hours, njobs int) (*trace.Set, []sched.Cluster, [][]byte) {
+	b.Helper()
+	set, cl := schedWorld(b, hours)
+	jobs, err := sched.GenerateJobs(sched.WorkloadSpec{
+		Jobs: njobs, ArrivalSpan: hours - 48, SlackHours: 48,
+		InterruptibleFrac: 0.7, MigratableFrac: 0.5,
+		Origins: []string{"CLEAN", "DIRTY"}, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	var hour atomic.Int64
+	srv, err := schedd.New(set, cl, schedd.Config{
+		Policy: sched.GreenestFirst{}, Horizon: hours,
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+		DataDir: dir, Sync: wal.SyncNone,
+	}, schedd.WithClock(func() time.Time {
+		return set.Start().Add(time.Duration(hour.Load()) * time.Hour)
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client, err := schedd.NewClient(ts.URL, ts.Client())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	next := 0
+	for h := 0; h < hours; h++ {
+		hour.Store(int64(h))
+		if _, err := client.Stats(ctx); err != nil {
+			b.Fatal(err)
+		}
+		var batch []schedd.JobRequest
+		for next < len(jobs) && jobs[next].Arrival == h {
+			id := jobs[next].ID
+			batch = append(batch, schedd.JobRequest{
+				ID: &id, Origin: jobs[next].Origin, LengthHours: jobs[next].Length,
+				SlackHours: jobs[next].Slack, Interruptible: jobs[next].Interruptible,
+				Migratable: jobs[next].Migratable,
+			})
+			next++
+		}
+		if len(batch) > 0 {
+			if _, err := client.Submit(ctx, batch...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	journals, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil || len(journals) == 0 {
+		b.Fatalf("no journal in %s (%v)", dir, err)
+	}
+	sort.Strings(journals)
+	var records [][]byte
+	if _, err := wal.Replay(journals[len(journals)-1], func(p []byte) error {
+		records = append(records, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return set, cl, records
+}
+
+// BenchmarkFollowerApply measures the replication follower's apply
+// path: journal records (admissions and hour watermarks) applied in
+// stream order into a fresh fleet — the rate at which a hot standby
+// can consume its primary's history, and the floor on how fast it
+// catches up after a disconnect.
+func BenchmarkFollowerApply(b *testing.B) {
+	const hours = 24 * 30
+	set, cl, records := replJournal(b, hours, 2000)
+	mk := func() *schedd.Server {
+		s, err := schedd.New(set, cl, schedd.Config{
+			Policy: sched.GreenestFirst{}, Horizon: hours,
+			MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	fol := mk()
+	i := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i == len(records) {
+			b.StopTimer()
+			fol = mk()
+			i = 0
+			b.StartTimer()
+		}
+		if err := fol.ApplyReplRecord(records[i]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+// BenchmarkFollowerRead measures the read path a follower serves while
+// replicating: GET /v1/jobs/{id} over HTTP against a fleet populated
+// by stream apply, lag header included — the scale-out read capacity
+// a hot standby adds.
+func BenchmarkFollowerRead(b *testing.B) {
+	const hours = 24 * 30
+	const njobs = 2000
+	set, cl, records := replJournal(b, hours, njobs)
+	fol, err := schedd.NewFollower(set, cl, schedd.Config{
+		Policy: sched.GreenestFirst{}, Horizon: hours,
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+	}, schedd.FollowerConfig{Primary: "http://127.0.0.1:9"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fol.Close()
+	for _, rec := range records {
+		if err := fol.ApplyReplRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(fol.Handler())
+	defer ts.Close()
+	client, err := schedd.NewClient(ts.URL, ts.Client())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Job(ctx, i%njobs); err != nil {
 			b.Fatal(err)
 		}
 	}

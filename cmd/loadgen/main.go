@@ -22,9 +22,16 @@
 // only defaults and pacing; explicitly-set mix flags always win.
 //
 // The stream is seeded via internal/rng and jobs carry explicit ids
-// (their stream index), so two loadgen runs with the same flags submit
-// identical jobs and the offline baseline reconstructs exactly what the
-// server admitted.
+// (their stream index plus -id-offset), so two loadgen runs with the
+// same flags submit identical jobs and the offline baseline
+// reconstructs exactly what the server admitted.
+//
+// Against a replicated deployment, -endpoints takes the comma-
+// separated base URLs of every replica and drives the failover client:
+// writes sent to a follower are 421-redirected to its primary, dead
+// endpoints are skipped, and a promotion mid-run is survived without
+// losing the stream — pair sequential runs with -id-offset so their id
+// ranges never collide.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -56,6 +64,8 @@ type submission struct {
 func main() {
 	var (
 		url           = flag.String("url", "http://localhost:9090", "schedd base URL")
+		endpoints     = flag.String("endpoints", "", "comma-separated schedd base URLs; enables the failover client (dead endpoints are skipped, follower 421s redirect to the primary hint). Overrides -url")
+		idOffset      = flag.Int("id-offset", 0, "offset added to every generated job id, so sequential runs against one server never collide")
 		jobs          = flag.Int("jobs", 1000, "total jobs to submit")
 		rate          = flag.Float64("rate", 0, "target submission rate in jobs/sec (0 = unlimited)")
 		submitters    = flag.Int("submitters", 8, "concurrent submitter goroutines")
@@ -93,9 +103,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	client, err := schedd.NewClient(*url, nil)
-	if err != nil {
-		fatal(err)
+	var client *schedd.Client
+	var err2 error
+	if *endpoints != "" {
+		var urls []string
+		for _, u := range strings.Split(*endpoints, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		client, err2 = schedd.NewFailoverClient(urls, nil)
+	} else {
+		client, err2 = schedd.NewClient(*url, nil)
+	}
+	if err2 != nil {
+		fatal(err2)
 	}
 	info, err := client.Stats(ctx)
 	if err != nil {
@@ -109,7 +131,7 @@ func main() {
 		origins[i] = c.Region
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: target %s policy=%s regions=%v horizon=%dh profile=%s\n",
-		*url, info.Policy, origins, info.Horizon, prof.name)
+		client.Endpoint(), info.Policy, origins, info.Horizon, prof.name)
 
 	distribution, err := pickDist(*dist)
 	if err != nil {
@@ -126,7 +148,7 @@ func main() {
 		if length > *maxLen {
 			length = *maxLen
 		}
-		id := i
+		id := i + *idOffset
 		requests[i] = schedd.JobRequest{
 			ID:            &id,
 			Origin:        origins[src.Intn(len(origins))],
@@ -258,7 +280,7 @@ func main() {
 	// Offline FIFO baseline: re-simulate the exact jobs the server
 	// admitted — same trace (reconstructed from the server's seed and
 	// clusters), same arrival hours — under the carbon-agnostic policy.
-	fifoKg, err := fifoBaseline(ctx, info, requests, subs)
+	fifoKg, err := fifoBaseline(ctx, info, requests, subs, *idOffset)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: baseline unavailable: %v\n", err)
 		return
@@ -280,10 +302,11 @@ func main() {
 }
 
 // fifoBaseline rebuilds the admitted jobs from the acknowledgements
-// (each id is the index into the generated stream) and runs the batch
-// simulator under FIFO on the server's own trace configuration.
+// (each id is idOffset plus the index into the generated stream) and
+// runs the batch simulator under FIFO on the server's own trace
+// configuration.
 func fifoBaseline(ctx context.Context, info schedd.StatsResponse,
-	requests []schedd.JobRequest, subs []submission) (float64, error) {
+	requests []schedd.JobRequest, subs []submission, idOffset int) (float64, error) {
 	var regs []regions.Region
 	var clusters []sched.Cluster
 	for _, c := range info.Clusters {
@@ -301,10 +324,10 @@ func fifoBaseline(ctx context.Context, info schedd.StatsResponse,
 	var jobs []sched.Job
 	for _, s := range subs {
 		for _, id := range s.ids {
-			if id < 0 || id >= len(requests) {
+			if id < idOffset || id-idOffset >= len(requests) {
 				return 0, fmt.Errorf("server acknowledged unknown job id %d", id)
 			}
-			r := requests[id]
+			r := requests[id-idOffset]
 			jobs = append(jobs, sched.Job{
 				ID:            id,
 				Origin:        r.Origin,

@@ -21,6 +21,20 @@
 // acknowledged work and resumes scheduling:
 //
 //	schedd -data-dir /var/lib/schedd -fsync always -snapshot-every 24
+//
+// A durable schedd is also a replication primary: it serves its
+// journal over GET /v1/repl/stream. A second schedd started with
+// -follow becomes a hot standby — it copies the primary's world
+// configuration from /v1/stats, bootstraps from the primary's
+// snapshot, applies the journal stream live, serves read-only
+// /v1/jobs/{id} and /v1/stats (with an X-Replication-Lag-Hours
+// header), and rejects writes with 421 plus the primary's URL. It
+// takes over on POST /v1/repl/promote, or automatically once
+// -probe-failures consecutive health probes (every -probe-interval)
+// of the primary fail:
+//
+//	schedd -addr :9091 -follow http://primary:9090 \
+//	  -data-dir /var/lib/schedd-standby -probe-interval 2s
 package main
 
 import (
@@ -61,6 +75,10 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durability directory: journal admissions, snapshot fleet state, and recover on start (empty = in-memory only)")
 		snapEvery  = flag.Int("snapshot-every", 24, "snapshot the fleet every N replay hours (0 = only at boot)")
 		fsyncMode  = flag.String("fsync", "batch", "journal fsync discipline: always (every ack durable), batch (group flush, bounded loss window), none")
+		follow     = flag.String("follow", "", "run as a hot-standby follower of the primary at this base URL (world config is copied from its /v1/stats)")
+		advertise  = flag.String("advertise", "", "this server's own public base URL, echoed in /v1/stats and used by operators wiring failover clients")
+		probeEvery = flag.Duration("probe-interval", 0, "follower: probe the primary's /healthz at this cadence and auto-promote on loss (0 = promote only via POST /v1/repl/promote)")
+		probeFails = flag.Int("probe-failures", 3, "follower: consecutive failed probes before auto-promotion")
 	)
 	flag.Parse()
 
@@ -72,62 +90,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(2)
 	}
+	sync, err := wal.ParseSyncMode(*fsyncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(2)
+	}
 
-	var regs []regions.Region
+	// World configuration: a primary's comes from its flags; a follower
+	// copies the primary's (seed, horizon, clusters) so the two fleets
+	// are provably the same scheduling world.
 	var clusters []sched.Cluster
-	for _, code := range strings.Split(*regionList, ",") {
-		code = strings.TrimSpace(code)
-		r, ok := regions.ByCode(code)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "schedd: unknown region %q\n", code)
+	horizon := *days * 24
+	worldSeed := *seed
+	if *follow != "" {
+		info, err := fetchPrimaryConfig(ctx, *follow)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedd:", err)
+			os.Exit(1)
+		}
+		if info.Policy != policy.Name() {
+			fmt.Fprintf(os.Stderr, "schedd: primary runs policy %q, this follower was started with %q — placements would diverge\n",
+				info.Policy, policy.Name())
 			os.Exit(2)
 		}
-		regs = append(regs, r)
-		clusters = append(clusters, sched.Cluster{Region: code, Slots: *slots})
+		horizon, worldSeed = info.Horizon, info.Seed
+		for _, c := range info.Clusters {
+			clusters = append(clusters, sched.Cluster{Region: c.Region, Slots: c.Slots})
+		}
+		fmt.Fprintf(os.Stderr, "schedd: following %s (policy=%s, %d regions, horizon %dh, seed %d)\n",
+			*follow, info.Policy, len(clusters), horizon, worldSeed)
+	} else {
+		for _, code := range strings.Split(*regionList, ",") {
+			code = strings.TrimSpace(code)
+			if _, ok := regions.ByCode(code); !ok {
+				fmt.Fprintf(os.Stderr, "schedd: unknown region %q\n", code)
+				os.Exit(2)
+			}
+			clusters = append(clusters, sched.Cluster{Region: code, Slots: *slots})
+		}
 	}
-	horizon := *days * 24
+
+	var regs []regions.Region
+	for _, c := range clusters {
+		r, ok := regions.ByCode(c.Region)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "schedd: primary region %q not in catalog\n", c.Region)
+			os.Exit(1)
+		}
+		regs = append(regs, r)
+	}
 
 	fmt.Fprintf(os.Stderr, "schedd: generating %d-region traces...\n", len(regs))
-	set, err := simgrid.GenerateCached(ctx, regs, simgrid.Config{Seed: *seed, Hours: horizon}, 0)
+	set, err := simgrid.GenerateCached(ctx, regs, simgrid.Config{Seed: worldSeed, Hours: horizon}, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
 
 	// The replay clock maps wall time since boot to trace hours. After a
-	// recovery the fleet is already at some hour H > 0, so the clock
-	// resumes from there (baseHours, set once New has recovered) —
-	// otherwise a restarted scheduler would freeze until wall time
-	// caught back up to H/speedup.
-	boot := time.Now()
+	// recovery — or a promotion — the fleet is already at some hour
+	// H > 0, so the clock rebases to resume from there; otherwise a
+	// restarted (or just-promoted) scheduler would freeze until wall
+	// time caught back up to H/speedup.
 	var baseHours atomic.Int64
+	var bootNano atomic.Int64
+	bootNano.Store(time.Now().UnixNano())
 	clock := func() time.Time {
-		simElapsed := time.Duration(float64(time.Since(boot)) * *speedup)
+		simElapsed := time.Duration(float64(time.Now().UnixNano()-bootNano.Load()) * *speedup)
 		return set.Start().Add(time.Duration(baseHours.Load())*time.Hour + simElapsed)
 	}
-	sync, err := wal.ParseSyncMode(*fsyncMode)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedd:", err)
-		os.Exit(2)
+	rebase := func(hour int) {
+		bootNano.Store(time.Now().UnixNano())
+		baseHours.Store(int64(hour))
 	}
-	srv, err := schedd.New(set, clusters, schedd.Config{
+
+	cfg := schedd.Config{
 		Policy:        policy,
 		Horizon:       horizon,
 		Shards:        *shards,
 		MaxJobs:       *maxJobs,
 		MaxQueue:      *maxQueue,
-		Seed:          *seed,
+		Seed:          worldSeed,
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapEvery,
 		Sync:          sync,
-	}, schedd.WithClock(clock))
+		Advertise:     *advertise,
+	}
+
+	var srv *schedd.Server
+	if *follow != "" {
+		srv, err = schedd.NewFollower(set, clusters, cfg, schedd.FollowerConfig{
+			Primary:       *follow,
+			ProbeInterval: *probeEvery,
+			ProbeFailures: *probeFails,
+		}, schedd.WithClock(clock), schedd.WithPromoteNotify(func(hour int) {
+			rebase(hour)
+			fmt.Fprintf(os.Stderr, "schedd: promoted to primary at hour %d\n", hour)
+		}))
+	} else {
+		srv, err = schedd.New(set, clusters, cfg, schedd.WithClock(clock))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
-	baseHours.Store(int64(srv.Hour()))
-	if *dataDir != "" {
+	rebase(srv.Hour())
+	if *dataDir != "" && *follow == "" {
 		if rec := srv.Recovery(); rec.Recovered {
 			fmt.Fprintf(os.Stderr,
 				"schedd: recovered %d jobs at hour %d from %s (snapshot hour %d, %d journal records replayed, torn tail: %v)\n",
@@ -138,9 +207,10 @@ func main() {
 				*dataDir, sync, *snapEvery)
 		}
 	}
+	srv.Start(ctx)
 
-	fmt.Fprintf(os.Stderr, "schedd: %s policy over %d regions x %d slots on %s (replay speedup %.0fx)\n",
-		policy.Name(), len(clusters), *slots, *addr, *speedup)
+	fmt.Fprintf(os.Stderr, "schedd: %s policy over %d regions on %s (replay speedup %.0fx)\n",
+		policy.Name(), len(clusters), *addr, *speedup)
 	if *shards != 0 {
 		fmt.Fprintf(os.Stderr, "schedd: fleet sharded %d ways\n", *shards)
 	}
@@ -159,6 +229,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if srv.Role() == "follower" {
+		// A follower holds no authority over the fleet: there is nothing
+		// to drain, the primary owns every acknowledged job.
+		fmt.Fprintln(os.Stderr, "schedd: follower stopped")
+		return
+	}
+
 	// HTTP is down; run the world forward so every admitted job is
 	// accounted for before exit.
 	fmt.Fprintln(os.Stderr, "schedd: draining fleet...")
@@ -172,4 +249,27 @@ func main() {
 		"schedd: drained: %d jobs, %d completed, %d missed, %.1f kg CO2eq, %.1f%% utilization\n",
 		len(res.Outcomes), res.Completed, res.Missed,
 		res.TotalEmissions/1000, 100*res.Utilization())
+}
+
+// fetchPrimaryConfig polls the primary's /v1/stats until it answers
+// (the primary may still be generating traces), with a bounded wait.
+func fetchPrimaryConfig(ctx context.Context, primary string) (schedd.StatsResponse, error) {
+	client, err := schedd.NewClient(primary, &http.Client{Timeout: 5 * time.Second})
+	if err != nil {
+		return schedd.StatsResponse{}, err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		info, err := client.Stats(ctx)
+		if err == nil {
+			if len(info.Clusters) == 0 {
+				return info, fmt.Errorf("primary %s reports no clusters", primary)
+			}
+			return info, nil
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return schedd.StatsResponse{}, fmt.Errorf("fetching primary config from %s: %w", primary, err)
+		}
+		time.Sleep(time.Second)
+	}
 }

@@ -62,6 +62,23 @@
 // byte-identical to a process that never stopped, as proven by a
 // crash-point sweep test across all five policies.
 //
+// The service is replicated: internal/repl streams that same journal
+// over HTTP (resumable cursors, long-poll, snapshot bootstrap, a
+// versioned and fuzz-hardened frame format) to hot standbys started
+// with schedd -follow. Because journal order is exact fleet-event
+// order, a follower applying the stream in sequence is byte-identical
+// to the primary at every shared watermark — the replication
+// equivalence and prefix-consistency tests pin this for every policy
+// and mismatched shard counts, and a chaos test (random partitions and
+// follower restarts mid-stream, under -race) proves cursor resume
+// never gaps or double-applies. Followers serve read-only job status
+// and stats with an X-Replication-Lag-Hours header, reject writes with
+// 421 plus a primary hint (which httpx's failover client follows
+// automatically), and promote to primary — new journal generation
+// under their own flock — on POST /v1/repl/promote or on primary
+// health-probe loss; the CI failover e2e kills the primary with
+// kill -9 mid-load and asserts zero acknowledged-job loss.
+//
 // Determinism is load-bearing: stochastic cells derive their random
 // streams by pre-splitting an explicitly seeded generator
 // (internal/rng.SplitN), never from worker identity or scheduling

@@ -1,0 +1,202 @@
+package httpx
+
+// Endpoints is the multi-endpoint failover core shared by the typed
+// clients: a sticky rotation over base URLs that survives a primary
+// dying (connection refused / reset → try the next endpoint) and
+// understands the 421 write-redirect contract — a replica that cannot
+// serve a request answers 421 Misdirected Request with a JSON body
+// naming the primary ({"error": ..., "primary": "http://..."}), and
+// the client jumps straight to that hint (learning it if it was not in
+// the configured list) instead of probing blindly. 5xx responses also
+// rotate: a dying primary should not stall a client that has a healthy
+// standby configured. 4xx responses other than 421 are real answers
+// and are returned as-is.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+)
+
+// Endpoints rotates requests across base URLs. Safe for concurrent
+// use; the current endpoint is sticky until it fails.
+type Endpoints struct {
+	mu    sync.Mutex
+	bases []string
+	cur   int
+}
+
+// NewEndpoints validates and deduplicates the base URLs (at least one
+// required).
+func NewEndpoints(bases []string) (*Endpoints, error) {
+	e := &Endpoints{}
+	seen := map[string]bool{}
+	for _, b := range bases {
+		u, err := url.Parse(b)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("httpx: invalid endpoint URL %q", b)
+		}
+		if !seen[u.String()] {
+			seen[u.String()] = true
+			e.bases = append(e.bases, u.String())
+		}
+	}
+	if len(e.bases) == 0 {
+		return nil, fmt.Errorf("httpx: no endpoints")
+	}
+	return e, nil
+}
+
+// Current returns the endpoint the next request will try first.
+func (e *Endpoints) Current() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bases[e.cur]
+}
+
+// Len returns how many endpoints are known (configured plus learned).
+func (e *Endpoints) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.bases)
+}
+
+// rotateFrom advances past base — unless another request already moved
+// the cursor, in which case the newer choice wins.
+func (e *Endpoints) rotateFrom(base string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bases[e.cur] == base {
+		e.cur = (e.cur + 1) % len(e.bases)
+	}
+}
+
+// redirect jumps to the primary a 421 response hinted at, learning it
+// if it was not configured. Invalid hints fall back to a plain
+// rotation.
+func (e *Endpoints) redirect(from, primary string) {
+	u, err := url.Parse(primary)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		e.rotateFrom(from)
+		return
+	}
+	target := u.String()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, b := range e.bases {
+		if b == target {
+			e.cur = i
+			return
+		}
+	}
+	e.bases = append(e.bases, target)
+	e.cur = len(e.bases) - 1
+}
+
+// isDialError reports a failure that happened before any request byte
+// reached a server — connection refused, reset-on-connect, DNS — so
+// the request was definitely NOT processed and retrying it elsewhere
+// cannot double-execute it.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// DoJSON issues one JSON request against the current endpoint,
+// failing over on connection errors, 5xx responses, and 421 primary
+// redirects. It tries at most two passes over the known endpoints
+// before giving up with the last error.
+//
+// Retry safety: a 421 is always retried (the replica explicitly
+// refused to process it), and GET/HEAD retry on any failure. A
+// non-idempotent request (POST) is only retried when the failure
+// proves the server never saw it — a dial error such as connection
+// refused, the signature of a dead primary. An ambiguous failure (the
+// connection died mid-request or mid-response, or the endpoint
+// answered 5xx) is returned to the caller rather than replayed, since
+// the write may already have been applied and a blind retry would
+// double-submit it.
+func (e *Endpoints) DoJSON(ctx context.Context, hc *http.Client, method, path string, in any, prefix string, out any) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("%s: encoding request: %w", prefix, err)
+		}
+	}
+	idempotent := method == http.MethodGet || method == http.MethodHead
+	var lastErr error
+	attempts := 2 * e.Len()
+	for i := 0; i <= attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%s: %w", prefix, err)
+		}
+		base := e.Current()
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, base+path, body)
+		if err != nil {
+			return fmt.Errorf("%s: building request: %w", prefix, err)
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %s: %w", prefix, base, err)
+			if !idempotent && !isDialError(err) {
+				// The request may have reached the server before the
+				// connection died; replaying it could double-execute.
+				return lastErr
+			}
+			e.rotateFrom(base)
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, MaxBody))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("%s: reading response: %w", prefix, err)
+			if !idempotent {
+				return lastErr // the server answered; the write happened
+			}
+			e.rotateFrom(base)
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusMisdirectedRequest:
+			// A follower named its primary; go there next.
+			var hint struct {
+				Error   string `json:"error"`
+				Primary string `json:"primary"`
+			}
+			json.Unmarshal(respBody, &hint)
+			lastErr = fmt.Errorf("%s: %s: misdirected: %s", prefix, base, hint.Error)
+			e.redirect(base, hint.Primary)
+			continue
+		case idempotent && resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable:
+			// 5xx on a read = this endpoint is broken; try another. 503
+			// is exempt: it is the services' backpressure signal (queue
+			// full), a real answer that a standby cannot improve on.
+			// Writes are never replayed after a 5xx — the server touched
+			// the request, so a retry could double-execute it.
+			lastErr = DecodeResponse(resp.StatusCode, resp.Status, respBody, prefix, out)
+			e.rotateFrom(base)
+			continue
+		default:
+			return DecodeResponse(resp.StatusCode, resp.Status, respBody, prefix, out)
+		}
+	}
+	return fmt.Errorf("%s: all endpoints failed: %w", prefix, lastErr)
+}

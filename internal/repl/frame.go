@@ -1,0 +1,256 @@
+// Package repl is the replication layer over internal/wal's journal:
+// a primary-side Source that serves journal records as a resumable,
+// long-polled HTTP byte stream, and a follower-side Tail that applies
+// them — in exact journal order — into its own copy of the scheduler
+// state. Because the journal is a deterministic record of every
+// state-changing fleet event (admissions and hour watermarks, in fleet-
+// event order), a follower that has applied the stream up to a cursor
+// holds state byte-identical to the primary's at that cursor; the
+// replication equivalence tests in internal/schedd pin this.
+//
+// The wire protocol (version 1) is a sequence of CRC-framed messages:
+//
+//	[ type byte | len uint32 BE | crc32(payload) uint32 BE | payload ]
+//
+//	'H' hello      magic "CSRP" | version | gen uvarint | off uvarint —
+//	               opens every stream, echoing the cursor it starts at
+//	'R' record     nextOff uvarint | raw journal record bytes; the
+//	               cursor after applying is (gen, nextOff)
+//	'G' rotate     gen uvarint | off uvarint — the journal rotated; the
+//	               stream continues in the new generation
+//	'B' heartbeat  hour uvarint | gen uvarint | off uvarint — keepalive
+//	               carrying the primary's fleet hour and live cursor
+//	'E' end        reason string — the source cannot continue from this
+//	               cursor; the follower must bootstrap from a snapshot
+//
+// A cursor is (generation, byte offset into that generation's journal
+// file). Cursors are only ever minted by the source — the hello frame,
+// record nextOffs, and rotate frames — so any cursor a follower
+// presents is a record boundary the primary once served. Frames are
+// individually checksummed so a truncated or corrupted stream is
+// detected at the frame where it happens; the decoder never panics on
+// hostile input (see FuzzReplStreamDecode).
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"carbonshift/internal/wal"
+)
+
+// Protocol constants.
+const (
+	streamMagic   = "CSRP"
+	streamVersion = 1
+
+	frameHello     = 'H'
+	frameRecord    = 'R'
+	frameRotate    = 'G'
+	frameHeartbeat = 'B'
+	frameEnd       = 'E'
+
+	// frameHeaderLen is type + length + CRC.
+	frameHeaderLen = 9
+	// maxFramePayload bounds one frame: a journal record plus cursor
+	// overhead. A hostile length prefix past it is corruption, never an
+	// allocation.
+	maxFramePayload = wal.MaxRecord + 64
+)
+
+// ErrBadFrame reports a frame that can never be valid: oversized
+// length, CRC mismatch, unknown type, or a malformed payload.
+var ErrBadFrame = errors.New("repl: bad frame")
+
+// Cursor addresses a position in the primary's journal history.
+type Cursor struct {
+	Generation uint64
+	Offset     int64
+}
+
+func (c Cursor) String() string {
+	return fmt.Sprintf("gen %d offset %d", c.Generation, c.Offset)
+}
+
+// Frame is one decoded stream message. Which fields are meaningful
+// depends on Type (see the package comment); Record aliases the
+// decoder's buffer and must not be retained across Next calls.
+type Frame struct {
+	Type   byte
+	Cursor Cursor // hello: start; record: cursor AFTER applying; rotate/heartbeat: live cursor
+	Hour   int    // heartbeat: the primary's current fleet hour
+	Record []byte // record: raw journal record payload
+	Reason string // end: why the stream cannot continue
+}
+
+// --- encoding ---
+
+func appendFrame(buf []byte, typ byte, payload []byte) []byte {
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// AppendHello appends the stream-opening frame for a cursor.
+func AppendHello(buf []byte, c Cursor) []byte {
+	p := append([]byte(streamMagic), streamVersion)
+	p = binary.AppendUvarint(p, c.Generation)
+	p = binary.AppendUvarint(p, uint64(c.Offset))
+	return appendFrame(buf, frameHello, p)
+}
+
+// AppendRecord appends one journal record with the cursor that follows
+// it.
+func AppendRecord(buf []byte, nextOffset int64, record []byte) []byte {
+	p := binary.AppendUvarint(make([]byte, 0, len(record)+8), uint64(nextOffset))
+	p = append(p, record...)
+	return appendFrame(buf, frameRecord, p)
+}
+
+// AppendRotate appends a generation-rotation frame.
+func AppendRotate(buf []byte, c Cursor) []byte {
+	p := binary.AppendUvarint(nil, c.Generation)
+	p = binary.AppendUvarint(p, uint64(c.Offset))
+	return appendFrame(buf, frameRotate, p)
+}
+
+// AppendHeartbeat appends a keepalive with the primary's fleet hour and
+// live cursor.
+func AppendHeartbeat(buf []byte, hour int, c Cursor) []byte {
+	p := binary.AppendUvarint(nil, uint64(hour))
+	p = binary.AppendUvarint(p, c.Generation)
+	p = binary.AppendUvarint(p, uint64(c.Offset))
+	return appendFrame(buf, frameHeartbeat, p)
+}
+
+// AppendEnd appends the stream-terminating frame.
+func AppendEnd(buf []byte, reason string) []byte {
+	return appendFrame(buf, frameEnd, []byte(reason))
+}
+
+// --- decoding ---
+
+// FrameReader decodes a frame stream incrementally.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps an io.Reader (typically a streaming HTTP
+// response body) in a frame decoder.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next decodes one frame. io.EOF means the stream ended cleanly between
+// frames; io.ErrUnexpectedEOF means it was cut mid-frame; ErrBadFrame
+// wraps everything a well-formed stream can never contain. The returned
+// Frame's Record aliases an internal buffer reused by the next call.
+func (fr *FrameReader) Next() (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(fr.r, hdr[:1]); err != nil {
+		return Frame{}, err // io.EOF here = clean end of stream
+	}
+	if _, err := io.ReadFull(fr.r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	typ := hdr[0]
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	sum := binary.BigEndian.Uint32(hdr[5:9])
+	if n > maxFramePayload {
+		return Frame{}, fmt.Errorf("%w: payload of %d bytes exceeds limit", ErrBadFrame, n)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Frame{}, fmt.Errorf("%w: CRC mismatch on %q frame", ErrBadFrame, typ)
+	}
+	return decodeFrame(typ, payload)
+}
+
+func decodeFrame(typ byte, payload []byte) (Frame, error) {
+	f := Frame{Type: typ}
+	switch typ {
+	case frameHello:
+		if len(payload) < len(streamMagic)+1 || string(payload[:len(streamMagic)]) != streamMagic {
+			return f, fmt.Errorf("%w: hello without magic", ErrBadFrame)
+		}
+		if v := payload[len(streamMagic)]; v != streamVersion {
+			return f, fmt.Errorf("%w: protocol version %d (want %d)", ErrBadFrame, v, streamVersion)
+		}
+		rest := payload[len(streamMagic)+1:]
+		var err error
+		if f.Cursor, rest, err = readCursor(rest); err != nil {
+			return f, err
+		}
+		return f, expectEmpty(rest)
+	case frameRecord:
+		off, n := binary.Uvarint(payload)
+		if n <= 0 || off > 1<<62 {
+			return f, fmt.Errorf("%w: record frame cursor", ErrBadFrame)
+		}
+		f.Cursor.Offset = int64(off)
+		f.Record = payload[n:]
+		return f, nil
+	case frameRotate:
+		var err error
+		var rest []byte
+		if f.Cursor, rest, err = readCursor(payload); err != nil {
+			return f, err
+		}
+		return f, expectEmpty(rest)
+	case frameHeartbeat:
+		hour, n := binary.Uvarint(payload)
+		if n <= 0 || hour > 1<<32 {
+			return f, fmt.Errorf("%w: heartbeat hour", ErrBadFrame)
+		}
+		f.Hour = int(hour)
+		var err error
+		var rest []byte
+		if f.Cursor, rest, err = readCursor(payload[n:]); err != nil {
+			return f, err
+		}
+		return f, expectEmpty(rest)
+	case frameEnd:
+		f.Reason = string(payload)
+		return f, nil
+	default:
+		return f, fmt.Errorf("%w: unknown frame type %q", ErrBadFrame, typ)
+	}
+}
+
+func readCursor(data []byte) (Cursor, []byte, error) {
+	gen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return Cursor{}, nil, fmt.Errorf("%w: cursor generation", ErrBadFrame)
+	}
+	data = data[n:]
+	off, n := binary.Uvarint(data)
+	if n <= 0 || off > 1<<62 {
+		return Cursor{}, nil, fmt.Errorf("%w: cursor offset", ErrBadFrame)
+	}
+	return Cursor{Generation: gen, Offset: int64(off)}, data[n:], nil
+}
+
+func expectEmpty(rest []byte) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package repl
+
+// Golden-file pin of the replication wire format. A primary and a
+// follower may run different builds during a rolling upgrade, so the
+// frame encoding is versioned and must never drift silently. If this
+// test fails because the format deliberately changed, bump
+// streamVersion, teach the decoder the old version, and regenerate:
+//
+//	go test ./internal/repl -run TestStreamGolden -update
+
+import (
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestStreamGolden(t *testing.T) {
+	got := hex.EncodeToString(sampleStream())
+
+	golden := filepath.Join("testdata", "stream_v1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got+"\n" != string(want) {
+		t.Fatalf("stream encoding drifted from %s:\ngot:  %s\nwant: %s\n(frame framing, CRC, or a payload layout changed — bump streamVersion and regenerate with -update)",
+			golden, got, want)
+	}
+}

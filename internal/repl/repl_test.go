@@ -1,0 +1,366 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"carbonshift/internal/wal"
+)
+
+// fakeBackend is a minimal primary: a wal.Store data dir whose
+// "state" is the concatenation of every record appended so far, so
+// snapshots are trivially checkable.
+type fakeBackend struct {
+	t     *testing.T
+	store *wal.Store
+
+	mu      sync.Mutex
+	journal *wal.Journal
+	state   []byte
+	gen     atomic.Uint64
+	hour    atomic.Int64
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	store, err := wal.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	b := &fakeBackend{t: t, store: store}
+	b.rotate()
+	return b
+}
+
+func (b *fakeBackend) Generation() uint64            { return b.gen.Load() }
+func (b *fakeBackend) JournalPath(gen uint64) string { return b.store.JournalPath(gen) }
+func (b *fakeBackend) Hour() int                     { return int(b.hour.Load()) }
+
+func (b *fakeBackend) FlushJournal() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.journal != nil {
+		b.journal.Flush()
+	}
+}
+
+func (b *fakeBackend) SnapshotLatest() (uint64, []byte, error) {
+	return b.store.LatestSnapshot()
+}
+
+func (b *fakeBackend) append(payloads ...[]byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range payloads {
+		if err := b.journal.Append(p); err != nil {
+			b.t.Fatal(err)
+		}
+		b.state = append(b.state, p...)
+	}
+}
+
+// rotate mimics schedd's generation rotation: snapshot the state as
+// gen+1, open that journal, close the old one, GC below.
+func (b *fakeBackend) rotate() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	next := b.gen.Load() + 1
+	if err := b.store.WriteSnapshot(next, append([]byte(nil), b.state...)); err != nil {
+		b.t.Fatal(err)
+	}
+	j, err := wal.Create(b.store.JournalPath(next), wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	if b.journal != nil {
+		b.journal.Close()
+	}
+	b.journal = j
+	b.gen.Store(next)
+	b.store.RemoveGenerationsBelow(next)
+}
+
+func (b *fakeBackend) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.journal != nil {
+		b.journal.Close()
+		b.journal = nil
+	}
+}
+
+// recApplier rebuilds the fake backend's state from the stream.
+type recApplier struct {
+	mu        sync.Mutex
+	state     []byte
+	records   int
+	restored  int
+	lastSnap  []byte
+	failApply error
+}
+
+func (a *recApplier) RestoreReplSnapshot(snap []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.state = append([]byte(nil), snap...)
+	a.lastSnap = append([]byte(nil), snap...)
+	a.restored++
+	return nil
+}
+
+func (a *recApplier) ApplyReplRecord(rec []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failApply != nil {
+		return a.failApply
+	}
+	a.state = append(a.state, rec...)
+	a.records++
+	return nil
+}
+
+func (a *recApplier) snapshot() (state []byte, records, restored int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]byte(nil), a.state...), a.records, a.restored
+}
+
+func startSource(t *testing.T, b Backend) (*httptest.Server, *Source) {
+	t.Helper()
+	src := NewSource(b)
+	src.Poll = time.Millisecond
+	src.Heartbeat = 5 * time.Millisecond
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/repl/stream", src.HandleStream)
+	mux.HandleFunc("GET /v1/repl/snapshot", src.HandleSnapshot)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, src
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSourceTailReplicates: snapshot bootstrap, live tailing, rotation
+// mid-stream, and heartbeats all land the follower on a byte-exact
+// copy of the primary's state.
+func TestSourceTailReplicates(t *testing.T) {
+	b := newFakeBackend(t)
+	defer b.close()
+	b.append([]byte("a1"), []byte("b22"))
+	ts, _ := startSource(t, b)
+
+	a := &recApplier{}
+	tail := NewTail(ts.URL, a, ts.Client(), TailConfig{ReconnectDelay: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); tail.Run(ctx) }()
+
+	waitFor(t, "initial catch-up", func() bool { _, n, _ := a.snapshot(); return n == 2 })
+	b.hour.Store(7)
+	waitFor(t, "heartbeat hour", func() bool { return tail.PrimaryHour() == 7 })
+
+	// More records, then a rotation with a third batch behind it.
+	b.append([]byte("c333"))
+	waitFor(t, "pre-rotation record", func() bool { _, n, _ := a.snapshot(); return n == 3 })
+	b.rotate()
+	b.append([]byte("d4444"), []byte("e"))
+	waitFor(t, "post-rotation records", func() bool { _, n, _ := a.snapshot(); return n == 5 })
+
+	state, _, restored := a.snapshot()
+	if restored != 1 {
+		t.Fatalf("restored %d times, want exactly one bootstrap", restored)
+	}
+	if want := []byte("a1b22c333d4444e"); !bytes.Equal(state, want) {
+		t.Fatalf("follower state %q, want %q", state, want)
+	}
+	if cur, ok := tail.Cursor(); !ok || cur.Generation != b.Generation() {
+		t.Fatalf("cursor = %v/%v, want generation %d", cur, ok, b.Generation())
+	}
+	st := tail.Stats()
+	if st.RecordsApplied != 5 || st.Bootstraps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	cancel()
+	<-done
+}
+
+// TestTailResumesAcrossRestart: cancelling Run and running the same
+// Tail again resumes from the cursor — no gap, no double-apply.
+func TestTailResumesAcrossRestart(t *testing.T) {
+	b := newFakeBackend(t)
+	defer b.close()
+	ts, _ := startSource(t, b)
+	a := &recApplier{}
+	tail := NewTail(ts.URL, a, ts.Client(), TailConfig{ReconnectDelay: time.Millisecond})
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan struct{})
+	go func() { defer close(done1); tail.Run(ctx1) }()
+	b.append([]byte("one"))
+	waitFor(t, "first record", func() bool { _, n, _ := a.snapshot(); return n == 1 })
+	cancel1()
+	<-done1
+
+	// Records appended while the follower is down.
+	b.append([]byte("-two"), []byte("-three"))
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2 := make(chan struct{})
+	go func() { defer close(done2); tail.Run(ctx2) }()
+	waitFor(t, "resume catch-up", func() bool { _, n, _ := a.snapshot(); return n == 3 })
+	state, _, restored := a.snapshot()
+	if restored != 1 {
+		t.Fatalf("restart re-bootstrapped (%d restores), cursor resume expected", restored)
+	}
+	if want := []byte("one-two-three"); !bytes.Equal(state, want) {
+		t.Fatalf("state %q, want %q", state, want)
+	}
+	cancel2()
+	<-done2
+}
+
+// TestTailRebootstrapsWhenBehind: a follower whose generation was
+// garbage-collected gets 410 and recovers via a fresh snapshot.
+func TestTailRebootstrapsWhenBehind(t *testing.T) {
+	b := newFakeBackend(t)
+	defer b.close()
+	ts, _ := startSource(t, b)
+	a := &recApplier{}
+	tail := NewTail(ts.URL, a, ts.Client(), TailConfig{ReconnectDelay: time.Millisecond})
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan struct{})
+	go func() { defer close(done1); tail.Run(ctx1) }()
+	b.append([]byte("kept"))
+	waitFor(t, "first record", func() bool { _, n, _ := a.snapshot(); return n == 1 })
+	cancel1()
+	<-done1
+
+	// Two rotations while the follower is down: its generation-1 cursor
+	// is now garbage-collected.
+	b.append([]byte("-lost-to-snapshot"))
+	b.rotate()
+	b.rotate()
+	b.append([]byte("-fresh"))
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done2 := make(chan struct{})
+	go func() { defer close(done2); tail.Run(ctx2) }()
+	want := []byte("kept-lost-to-snapshot-fresh")
+	waitFor(t, "re-bootstrap catch-up", func() bool { s, _, _ := a.snapshot(); return bytes.Equal(s, want) })
+	if _, _, restored := a.snapshot(); restored != 2 {
+		t.Fatalf("restored %d times, want 2 (initial + post-410)", restored)
+	}
+	if tail.Stats().Bootstraps != 2 {
+		t.Fatalf("stats = %+v", tail.Stats())
+	}
+	cancel2()
+	<-done2
+}
+
+// TestTailRebootstrapsOnApplyError: a follower that cannot apply a
+// record discards its state and re-bootstraps rather than serving a
+// diverged copy.
+func TestTailRebootstrapsOnApplyError(t *testing.T) {
+	b := newFakeBackend(t)
+	defer b.close()
+	b.append([]byte("base"))
+	b.rotate() // snapshot now holds "base"
+	ts, _ := startSource(t, b)
+
+	a := &recApplier{failApply: fmt.Errorf("synthetic divergence")}
+	tail := NewTail(ts.URL, a, ts.Client(), TailConfig{ReconnectDelay: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); tail.Run(ctx) }()
+
+	waitFor(t, "bootstrap", func() bool { _, _, r := a.snapshot(); return r >= 1 })
+	b.append([]byte("-poison"))
+	waitFor(t, "apply failure surfaced", func() bool { return tail.Stats().LastError != "" })
+	a.mu.Lock()
+	a.failApply = nil
+	a.mu.Unlock()
+	want := []byte("base-poison")
+	waitFor(t, "self-heal", func() bool { s, _, _ := a.snapshot(); return bytes.Equal(s, want) })
+	if _, _, restored := a.snapshot(); restored < 2 {
+		t.Fatalf("restored %d times, want a re-bootstrap after the apply error", restored)
+	}
+	cancel()
+	<-done
+}
+
+// TestStreamCursorValidation: the source rejects unserveable cursors
+// with 410 Gone rather than streaming garbage.
+func TestStreamCursorValidation(t *testing.T) {
+	b := newFakeBackend(t)
+	defer b.close()
+	b.append([]byte("x"))
+	ts, _ := startSource(t, b)
+
+	for _, q := range []string{
+		"",                          // no cursor at all
+		"generation=0&offset=5",     // generation 0 never exists
+		"generation=9&offset=5",     // future generation
+		"generation=1&offset=1",     // offset inside the header
+		"generation=1&offset=99999", // offset past the file
+		"generation=1&offset=abc",   // malformed
+	} {
+		resp, err := ts.Client().Get(ts.URL + "/v1/repl/stream?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("query %q: status %d, want 410", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestSnapshotEndpoint pins the bootstrap wire contract: the payload
+// body plus the generation header.
+func TestSnapshotEndpoint(t *testing.T) {
+	b := newFakeBackend(t)
+	defer b.close()
+	b.append([]byte("snap-state"))
+	b.rotate()
+	ts, _ := startSource(t, b)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/repl/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Repl-Generation"); got != "2" {
+		t.Fatalf("X-Repl-Generation = %q, want 2", got)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "snap-state" {
+		t.Fatalf("snapshot body %q", buf.String())
+	}
+}

@@ -13,9 +13,31 @@ import (
 )
 
 // Client is a typed client for the scheduling service.
+//
+// # The 421 write-redirect contract
+//
+// In a replicated deployment only the primary accepts writes. A
+// follower answers POST /v1/jobs (and any other state-changing
+// request) with 421 Misdirected Request and a JSON body naming its
+// primary:
+//
+//	{"error": "this instance is a read-only follower; ...",
+//	 "primary": "http://primary:9090"}
+//
+// A single-endpoint Client surfaces the 421 as an error; a client
+// built with NewFailoverClient follows the hint automatically — and
+// also rotates to the next configured endpoint when one is dead — so a
+// submitter configured with every replica's URL keeps writing across a
+// failover: the dead primary is skipped, the promoted follower
+// accepts. Writes are only replayed when the failure proves the server
+// never saw them (a dial error, or the explicit 421 refusal); an
+// ambiguous failure surfaces as an error rather than risking a
+// double-submit. Reads served by a follower carry an
+// X-Replication-Lag-Hours response header bounding their staleness.
 type Client struct {
 	base string
 	hc   *http.Client
+	eps  *httpx.Endpoints // nil for single-endpoint clients
 }
 
 // NewClient creates a client for the service at baseURL. A nil
@@ -29,6 +51,31 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: u.String(), hc: httpClient}, nil
+}
+
+// NewFailoverClient creates a client over several replica base URLs.
+// Requests go to a sticky current endpoint and fail over on connection
+// errors, 5xx responses, and 421 write-redirects (following the
+// primary hint, learning endpoints it did not know). A nil httpClient
+// uses http.DefaultClient.
+func NewFailoverClient(baseURLs []string, httpClient *http.Client) (*Client, error) {
+	eps, err := httpx.NewEndpoints(baseURLs)
+	if err != nil {
+		return nil, fmt.Errorf("schedd: %w", err)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{hc: httpClient, eps: eps}, nil
+}
+
+// Endpoint returns the endpoint the next request will try first (the
+// single base URL, or the failover rotation's current pick).
+func (c *Client) Endpoint() string {
+	if c.eps != nil {
+		return c.eps.Current()
+	}
+	return c.base
 }
 
 // Submit submits one or more jobs and returns the acknowledgement.
@@ -71,7 +118,27 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, &out)
 }
 
+// Promote asks a follower to take over as primary (idempotent: a
+// primary answers promoted=false). Note this goes to the client's
+// current endpoint directly — promotion is exactly the case where the
+// failover redirect must NOT bounce the request back to the primary.
+func (c *Client) Promote(ctx context.Context) (PromoteResponse, error) {
+	var out PromoteResponse
+	base := c.Endpoint()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/repl/promote", nil)
+	if err != nil {
+		return out, fmt.Errorf("schedd: building request: %w", err)
+	}
+	if err := httpx.DoJSON(c.hc, req, "schedd", &out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.eps != nil {
+		return c.eps.DoJSON(ctx, c.hc, method, path, in, "schedd", out)
+	}
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)

@@ -13,12 +13,19 @@ package schedd
 //	          — so journal order IS fleet submission order;
 //	watermark the hour the fleet advanced to, appended under stepMu.
 //
-// The two locks order records within their own type, but an admit and
-// a concurrent step may journal in either order. Replay is immune:
-// watermarks are deferred — an admit record first steps the fleet to
-// its own arrival hour, and the maximum watermark is applied at the
-// end — which reconstructs the true event order because arrival hours
-// are non-decreasing along the journal and an admit at hour h always
+// Both record types are buffered under admitMu (admits hold it for
+// the whole admission critical section; a watermark takes it just for
+// the buffer append), so journal order IS fleet-event order: an admit
+// that observed hour h lands before the watermark for any step past h,
+// and after the watermark of the step that brought the fleet to h.
+// That total order is what lets a replication follower apply the
+// journal strictly in sequence (internal/repl) and stay byte-identical
+// to the primary. Recovery additionally tolerates the weaker ordering
+// of journals written before watermarks took admitMu: watermarks are
+// deferred — an admit record first steps the fleet to its own arrival
+// hour, and the maximum watermark is applied at the end — which
+// reconstructs the true event order because arrival hours are
+// non-decreasing along the journal and an admit at hour h always
 // precedes, in fleet time, the step that simulates hour h.
 //
 // Recovery restores the newest valid snapshot, replays its journal
@@ -44,13 +51,14 @@ const (
 )
 
 // durable holds the journaling state of a Server with a DataDir. The
-// journal pointer is guarded by the server's locks: rotation holds
-// both stepMu and admitMu, admit appends hold admitMu, watermark
-// appends hold stepMu. gen and lastSnapHour are written under those
-// same locks but read lock-free by the stats path.
+// journal pointer swaps only under both stepMu and admitMu (rotation);
+// appenders hold one of those locks, so their loads are stable, while
+// the replication source reads the pointer lock-free from handler
+// goroutines — hence the atomic. gen and lastSnapHour are written
+// under the server's locks but read lock-free by the stats path.
 type durable struct {
 	store        *wal.Store
-	journal      *wal.Journal
+	journal      atomic.Pointer[wal.Journal]
 	opts         wal.Options
 	gen          atomic.Uint64
 	lastSnapHour atomic.Int64
@@ -96,6 +104,7 @@ func (s *Server) openDurable() error {
 	if err != nil {
 		return fail(err)
 	}
+	var rec DurabilityStats
 	if gen > 0 {
 		nextID, fleetImg, err := decodeServerSnapshot(payload)
 		if err != nil {
@@ -105,8 +114,8 @@ func (s *Server) openDurable() error {
 			return fail(fmt.Errorf("schedd: recover %s: %w", store.SnapshotPath(gen), err))
 		}
 		s.nextID = nextID
-		s.recovery.Recovered = true
-		s.recovery.RecoveredSnapshotHour = s.fleet.Hour()
+		rec.Recovered = true
+		rec.RecoveredSnapshotHour = s.fleet.Hour()
 
 		// Replay the generation's journal tail on top. Watermarks are
 		// deferred (see the package comment above).
@@ -118,21 +127,22 @@ func (s *Server) openDurable() error {
 			return fail(fmt.Errorf("schedd: replay %s: %w", store.JournalPath(gen), err))
 		}
 		if err == nil {
-			s.recovery.ReplayedRecords = replay.Records
-			s.recovery.TornTail = replay.Truncated
+			rec.ReplayedRecords = replay.Records
+			rec.TornTail = replay.Truncated
 		}
 		if err := s.stepFleetTo(maxWatermark); err != nil {
 			return fail(fmt.Errorf("schedd: replay %s: %w", store.JournalPath(gen), err))
 		}
-		s.recovery.RecoveredJobs = s.fleet.Jobs()
+		rec.RecoveredJobs = s.fleet.Jobs()
 	}
+	s.recovery.Store(&rec)
 
 	// Rotate to a fresh generation: snapshot the recovered (or empty)
 	// state, open its journal, and drop everything older.
 	d.gen.Store(gen)
-	s.dur = d
+	s.dur.Store(d)
 	if err := s.rotateGeneration(); err != nil {
-		s.dur = nil
+		s.dur.Store(nil)
 		return fail(err)
 	}
 	s.known.Store(int64(s.fleet.Hour()))
@@ -188,7 +198,7 @@ func (s *Server) stepFleetTo(hour int) error {
 // admissions and steps (boot does trivially; live rotation holds
 // stepMu and admitMu).
 func (s *Server) rotateGeneration() error {
-	d := s.dur
+	d := s.dur.Load()
 	fleetImg, err := s.fleet.Marshal()
 	if err != nil {
 		return err
@@ -201,10 +211,13 @@ func (s *Server) rotateGeneration() error {
 	if err != nil {
 		return err
 	}
-	if d.journal != nil {
-		d.journal.Close()
+	// Close the outgoing journal before the generation becomes visible:
+	// a replication stream that observes the new generation may then
+	// rely on the old file being complete.
+	if old := d.journal.Load(); old != nil {
+		old.Close()
 	}
-	d.journal = j
+	d.journal.Store(j)
 	d.gen.Store(next)
 	d.lastSnapHour.Store(int64(s.fleet.Hour()))
 	d.store.RemoveGenerationsBelow(next)
@@ -215,10 +228,11 @@ func (s *Server) rotateGeneration() error {
 // SnapshotEvery hours past the last snapshot. Called under stepMu; it
 // takes admitMu to freeze admissions across the snapshot/journal swap.
 func (s *Server) maybeSnapshot() error {
-	if s.dur == nil || s.cfg.SnapshotEvery <= 0 {
+	d := s.dur.Load()
+	if d == nil || s.cfg.SnapshotEvery <= 0 {
 		return nil
 	}
-	if s.fleet.Hour()-int(s.dur.lastSnapHour.Load()) < s.cfg.SnapshotEvery {
+	if s.fleet.Hour()-int(d.lastSnapHour.Load()) < s.cfg.SnapshotEvery {
 		return nil
 	}
 	s.admitMu.Lock()
@@ -234,34 +248,65 @@ func (s *Server) maybeSnapshot() error {
 // after the lock is released so concurrent submitters share one
 // group-commit fsync.
 func (s *Server) journalAdmit(arrival, nextID int, jobs []sched.Job) (*wal.Journal, uint64, error) {
-	if s.dur == nil {
+	d := s.dur.Load()
+	if d == nil {
 		return nil, 0, nil
 	}
-	seq, err := s.dur.journal.AppendNoWait(encodeAdmit(arrival, nextID, jobs))
-	return s.dur.journal, seq, err
+	j := d.journal.Load()
+	seq, err := j.AppendNoWait(encodeAdmit(arrival, nextID, jobs))
+	return j, seq, err
 }
 
 // journalWatermark appends the hour the fleet advanced to. Must be
-// called under stepMu.
+// called under stepMu; it takes admitMu just for the buffer append so
+// watermark and admit records interleave in the journal in true
+// fleet-event order — the invariant the replication follower's
+// strictly-in-order apply relies on. The durability wait runs after
+// admitMu is released, so admissions never stall behind a watermark
+// fsync.
 func (s *Server) journalWatermark(hour int) error {
-	if s.dur == nil {
+	d := s.dur.Load()
+	if d == nil {
 		return nil
 	}
-	return s.dur.journal.Append(encodeWatermark(hour))
+	j := d.journal.Load()
+	s.admitMu.Lock()
+	seq, err := j.AppendNoWait(encodeWatermark(hour))
+	s.admitMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return j.WaitSynced(seq)
 }
 
-// Close flushes and closes the journal and releases the data
-// directory's lock. The server must no longer be serving; idempotent,
-// nil-safe without a DataDir.
+// liveJournal returns the current generation's journal (nil when the
+// server runs without a DataDir).
+func (s *Server) liveJournal() *wal.Journal {
+	d := s.dur.Load()
+	if d == nil {
+		return nil
+	}
+	return d.journal.Load()
+}
+
+// Close stops the replication goroutines (followers), flushes and
+// closes the journal, and releases the data directory's lock. The
+// server must no longer be serving; idempotent, nil-safe without a
+// DataDir.
 func (s *Server) Close() error {
-	if s.dur == nil {
+	if s.fol != nil {
+		s.stopTail()
+		s.fol.probeWG.Wait()
+	}
+	d := s.dur.Load()
+	if d == nil {
 		return nil
 	}
 	var err error
-	if s.dur.journal != nil {
-		err = s.dur.journal.Close()
+	if j := d.journal.Load(); j != nil {
+		err = j.Close()
 	}
-	if cerr := s.dur.store.Close(); err == nil {
+	if cerr := d.store.Close(); err == nil {
 		err = cerr
 	}
 	return err
@@ -269,7 +314,12 @@ func (s *Server) Close() error {
 
 // Recovery returns what boot restored from the data directory (the
 // zero value when there was nothing to recover or no DataDir is set).
-func (s *Server) Recovery() DurabilityStats { return s.recovery }
+func (s *Server) Recovery() DurabilityStats {
+	if r := s.recovery.Load(); r != nil {
+		return *r
+	}
+	return DurabilityStats{}
+}
 
 // Hour returns the fleet's current replay hour.
 func (s *Server) Hour() int { return s.fleet.Hour() }
@@ -280,12 +330,13 @@ func (s *Server) Hour() int { return s.fleet.Hour() }
 // reads are individually atomic; a rotation between them can show a
 // momentarily mixed pair, which monitoring tolerates.
 func (s *Server) durabilityStats() *DurabilityStats {
-	if s.dur == nil {
+	d := s.dur.Load()
+	if d == nil {
 		return nil
 	}
-	ds := s.recovery // copy of the boot-time recovery info
-	ds.Generation = s.dur.gen.Load()
-	ds.LastSnapshotHour = int(s.dur.lastSnapHour.Load())
+	ds := s.Recovery() // copy of the boot- or promotion-time recovery info
+	ds.Generation = d.gen.Load()
+	ds.LastSnapshotHour = int(d.lastSnapHour.Load())
 	return &ds
 }
 

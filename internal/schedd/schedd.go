@@ -34,6 +34,16 @@
 // torn final writes tolerated — before serving, to state
 // byte-identical to a server that never stopped (see durable.go and
 // the crash-injection tests). /v1/stats reports the recovery counters.
+//
+// Replication: a durable server is also a replication primary, serving
+// its journal as a resumable stream (GET /v1/repl/stream, snapshot
+// bootstrap via GET /v1/repl/snapshot). NewFollower builds a hot
+// standby that tails that stream into its own fleet — byte-identical
+// to the primary at every shared watermark — serves read-only lookups
+// and stats with an X-Replication-Lag-Hours header, rejects writes
+// with 421 plus a primary hint, and promotes to primary on POST
+// /v1/repl/promote or on primary health-probe loss (see repl.go,
+// follower.go, and the replication/chaos/failover tests).
 package schedd
 
 import (
@@ -48,6 +58,7 @@ import (
 	"time"
 
 	"carbonshift/internal/httpx"
+	"carbonshift/internal/repl"
 	"carbonshift/internal/sched"
 	"carbonshift/internal/trace"
 	"carbonshift/internal/wal"
@@ -95,6 +106,11 @@ type Config struct {
 	// SyncInterval is the wal.SyncBatch flush cadence (default
 	// wal.DefaultBatchInterval).
 	SyncInterval time.Duration
+
+	// Advertise is this server's own public base URL, echoed in
+	// /v1/stats so operators and failover clients can learn the
+	// topology. Optional.
+	Advertise string
 }
 
 // Server is the online scheduling service.
@@ -123,9 +139,21 @@ type Server struct {
 	nextID  int
 
 	// dur is the journaling state (nil without Config.DataDir);
-	// recovery describes what boot restored.
-	dur      *durable
-	recovery DurabilityStats
+	// recovery describes what boot — or a promotion — restored. Both
+	// are atomic because promotion installs them on a live server
+	// while lock-free readers (stats, the repl source) look on.
+	dur      atomic.Pointer[durable]
+	recovery atomic.Pointer[DurabilityStats]
+
+	// Replication: role flips follower → primary exactly once (at
+	// promotion), fol holds the tail session for servers built by
+	// NewFollower, source serves the journal stream on durable
+	// primaries, and onPromote lets cmd/schedd rebase its replay clock
+	// when a follower takes over.
+	role      atomic.Int32
+	fol       *followerState
+	source    *repl.Source
+	onPromote func(hour int)
 }
 
 type serverFailure struct{ err error }
@@ -143,6 +171,14 @@ func WithClock(now func() time.Time) Option {
 // in deterministic order — the hook the equivalence test uses.
 func WithRecorder(rec func(hour, jobID int, region string)) Option {
 	return func(s *Server) { s.fleet.OnPlace = rec }
+}
+
+// WithPromoteNotify registers a callback invoked (once) when a
+// follower promotes to primary, with the fleet hour at promotion —
+// cmd/schedd uses it to rebase its replay clock so the new primary's
+// time continues from the replicated state instead of hour zero.
+func WithPromoteNotify(fn func(hour int)) Option {
+	return func(s *Server) { s.onPromote = fn }
 }
 
 // New builds the service over the trace set and regional clusters.
@@ -176,6 +212,7 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 		if err := s.openDurable(); err != nil {
 			return nil, err
 		}
+		s.source = repl.NewSource(s)
 	}
 	return s, nil
 }
@@ -205,6 +242,11 @@ func (s *Server) failure() error {
 func (s *Server) advance() error {
 	if err := s.failure(); err != nil {
 		return err
+	}
+	if s.isFollower() {
+		// A follower's fleet is driven by the replication stream, never
+		// by the local clock; reads serve whatever has been applied.
+		return nil
 	}
 	target := s.hourNow()
 	if int(s.known.Load()) >= target {
@@ -306,21 +348,39 @@ type StatsResponse struct {
 	// Durability describes the journaling layer and the boot-time
 	// recovery; absent when the server runs in-memory only.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Replication describes the replication session — role, cursor,
+	// lag — for followers, promoted primaries, and primaries with an
+	// advertise URL.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
-// ErrorResponse is the JSON error body.
+// ErrorResponse is the JSON error body. Primary carries the
+// write-redirect hint on 421 responses from a follower (see client.go
+// for the contract).
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	Primary string `json:"primary,omitempty"`
 }
 
-// Handler returns the HTTP handler for the service.
+// Handler returns the HTTP handler for the service. On a follower,
+// every response carries X-Replication-Lag-Hours — how many fleet
+// hours the replicated state trails the primary's last heartbeat — so
+// read clients can bound staleness.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
+	mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
+	mux.HandleFunc("POST /v1/repl/promote", s.handleReplPromote)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.isFollower() {
+			w.Header().Set("X-Replication-Lag-Hours", strconv.Itoa(s.replicationLag()))
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // decodeSubmit parses the POST /v1/jobs payload — a bare JobRequest or
@@ -338,6 +398,10 @@ func decodeSubmit(r io.Reader) ([]JobRequest, error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isFollower() {
+		s.writeMisdirected(w)
+		return
+	}
 	batch, err := decodeSubmit(http.MaxBytesReader(w, r.Body, httpx.MaxBody))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
@@ -511,6 +575,7 @@ func (s *Server) stats() StatsResponse {
 		TotalEmissionsG: st.TotalEmissions,
 		Utilization:     st.Utilization(),
 		Durability:      s.durabilityStats(),
+		Replication:     s.replicationStats(),
 	}
 	if st.Submitted > 0 {
 		resp.MissRate = float64(st.Missed) / float64(st.Submitted)
@@ -554,8 +619,8 @@ func (s *Server) Drain() (sched.Result, error) {
 			return sched.Result{}, err
 		}
 	}
-	if s.dur != nil && s.dur.journal != nil {
-		if err := s.dur.journal.Sync(); err != nil {
+	if j := s.liveJournal(); j != nil {
+		if err := j.Sync(); err != nil {
 			s.failed.Store(&serverFailure{err})
 			return sched.Result{}, err
 		}

@@ -300,6 +300,24 @@ func (j *Journal) flushRoundLocked() {
 	j.cond.Broadcast()
 }
 
+// Flush pushes buffered records out of the in-process buffer into the
+// OS file without forcing them to disk — it makes appended records
+// visible to readers of the file (the replication source tails the
+// live journal this way) without paying an fsync. A closed journal is
+// already fully flushed, so Flush on it is a no-op.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil || j.closed {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
 // Sync flushes buffered records (and the header, even when no record
 // was ever appended) and fsyncs, regardless of mode.
 func (j *Journal) Sync() error {
