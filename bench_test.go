@@ -569,10 +569,21 @@ func BenchmarkScheddSubmitJournaled(b *testing.B) {
 	})
 }
 
-func benchScheddSubmit(b *testing.B, cfg schedd.Config) {
+// BenchmarkScheddSubmitNoMetrics is BenchmarkScheddSubmit with the
+// metrics registry disabled — the un-instrumented baseline. The
+// acceptance bar of the observability layer is that the instrumented
+// path stays within 5% of this.
+func BenchmarkScheddSubmitNoMetrics(b *testing.B) {
+	benchScheddSubmit(b, schedd.Config{
+		Policy:  sched.FIFO{},
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+	}, schedd.WithoutMetrics())
+}
+
+func benchScheddSubmit(b *testing.B, cfg schedd.Config, opts ...schedd.Option) {
 	set, cl := schedWorld(b, 24*30)
 	srv, err := schedd.New(set, cl, cfg,
-		schedd.WithClock(func() time.Time { return set.Start() }))
+		append([]schedd.Option{schedd.WithClock(func() time.Time { return set.Start() })}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 //	curl localhost:8080/v1/carbon-intensity/SE/latest
 //	curl 'localhost:8080/v1/carbon-intensity/US-CA/forecast?hours=24'
 //	curl 'localhost:8080/v1/carbon-intensity/batch?regions=DE,SE,US-CA'
+//	curl localhost:8080/metrics
 //
 // SIGINT/SIGTERM shuts the server down gracefully, draining in-flight
 // requests.
@@ -54,7 +55,7 @@ func main() {
 		simElapsed := time.Duration(float64(elapsed) * *speedup)
 		return set.Start().Add(time.Duration(*start)*time.Hour + simElapsed)
 	}
-	srv := carbonapi.NewServer(set, carbonapi.WithClock(clock))
+	srv := carbonapi.NewServer(set, carbonapi.WithClock(clock), carbonapi.WithMetrics())
 
 	fmt.Fprintf(os.Stderr, "carbonapi: serving %d regions on %s (replay speedup %.0fx)\n",
 		set.Size(), *addr, *speedup)

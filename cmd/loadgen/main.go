@@ -12,6 +12,14 @@
 //	loadgen -url http://localhost:9090 -jobs 5000 -submitters 8
 //	loadgen -jobs 50000 -batch 100 -rate 0        # full throttle, batched
 //	loadgen -jobs 20000 -profile bursty           # arrival bursts
+//	loadgen -jobs 10000 -report-every 2s -scrape  # progress + /metrics check
+//
+// -report-every prints a progress line to stderr at the given interval
+// while submitting. -scrape fetches the server's /metrics after the
+// run, asserts the exposition parses and that its scheduling counters
+// agree with both this run's acknowledgements and /v1/stats, and
+// prints machine-readable scrape_*= lines — the CI end-to-end smoke
+// runs on it.
 //
 // The -profile flag selects a scenario shape: steady (the default
 // uniform stream), bursty (traffic arrives in dense bursts separated
@@ -39,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -46,6 +55,7 @@ import (
 	"sync"
 	"time"
 
+	"carbonshift/internal/metrics"
 	"carbonshift/internal/regions"
 	"carbonshift/internal/rng"
 	"carbonshift/internal/sched"
@@ -79,6 +89,8 @@ func main() {
 		wait          = flag.Duration("wait", 0, "after submitting, poll until all jobs resolve (0 = don't wait)")
 		baseline      = flag.Bool("baseline", true, "compute the offline FIFO baseline for the submitted jobs")
 		profileName   = flag.String("profile", "steady", "scenario profile: "+profileNames())
+		reportEvery   = flag.Duration("report-every", 0, "print a progress line to stderr at this interval while submitting (0 = off)")
+		scrape        = flag.Bool("scrape", false, "after the run, scrape the server's /metrics and assert it parses and agrees with the run and /v1/stats; exits non-zero on mismatch")
 	)
 	flag.Parse()
 
@@ -181,6 +193,32 @@ func main() {
 	}
 
 	start := time.Now()
+	// The periodic progress line: without it a long run is silent until
+	// the final report, which reads as a hang. Counters are sampled
+	// under the same mutex the submitters update them under.
+	reportDone := make(chan struct{})
+	if *reportEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*reportEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-reportDone:
+					return
+				case <-tick.C:
+				}
+				mu.Lock()
+				n, failed := 0, errorsN
+				for _, s := range subs {
+					n += len(s.ids)
+				}
+				mu.Unlock()
+				elapsed := time.Since(start).Seconds()
+				fmt.Fprintf(os.Stderr, "loadgen: progress %d/%d jobs submitted, %d failed requests, %.0f jobs/s, %.1fs elapsed\n",
+					n, *jobs, failed, float64(n)/elapsed, elapsed)
+			}
+		}()
+	}
 	for w := 0; w < *submitters; w++ {
 		wg.Add(1)
 		go func() {
@@ -231,6 +269,7 @@ func main() {
 	}
 	close(reqCh)
 	wg.Wait()
+	close(reportDone)
 	wall := time.Since(start)
 
 	submitted := 0
@@ -273,6 +312,12 @@ func main() {
 	fmt.Printf("server           policy=%s hour=%d completed=%d missed=%d queued=%d emissions=%.1fkg util=%.1f%%\n",
 		final.Policy, final.Hour, final.Completed, final.Missed, final.QueueDepth,
 		final.TotalEmissionsG/1000, 100*final.Utilization)
+
+	if *scrape {
+		if err := scrapeAndAssert(ctx, client, submitted, final); err != nil {
+			fatal(fmt.Errorf("scrape: %w", err))
+		}
+	}
 
 	if !*baseline {
 		return
@@ -350,6 +395,59 @@ func fifoBaseline(ctx context.Context, info schedd.StatsResponse,
 		return 0, err
 	}
 	return res.TotalEmissions / 1000, nil
+}
+
+// scrapeAndAssert fetches the target's /metrics, checks the exposition
+// parses, and asserts the scheduling counters agree with both this
+// run's acknowledgements and the /v1/stats snapshot taken just before
+// — the live half of the parity the schedd unit tests pin. Key values
+// are echoed in machine-readable scrape_*= lines for the CI e2e legs.
+func scrapeAndAssert(ctx context.Context, client *schedd.Client, submitted int, final schedd.StatsResponse) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, client.Endpoint()+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics returned %s", resp.Status)
+	}
+	sc, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("exposition does not parse: %w", err)
+	}
+
+	total, ok := sc.Samples["schedd_jobs_submitted_total"]
+	if !ok {
+		return fmt.Errorf("schedd_jobs_submitted_total missing from /metrics")
+	}
+	// The metric counts every admission the server ever saw (earlier
+	// runs and recovered jobs included), so it bounds this run's count
+	// from above and must equal the adjacent stats snapshot exactly:
+	// both read the same fleet counter and no submitter is running.
+	if int(total) < submitted {
+		return fmt.Errorf("schedd_jobs_submitted_total=%d < %d jobs this run acknowledged", int(total), submitted)
+	}
+	if int(total) != final.Submitted {
+		return fmt.Errorf("schedd_jobs_submitted_total=%d but /v1/stats submitted=%d", int(total), final.Submitted)
+	}
+	lag, ok := sc.Samples["schedd_replication_lag_hours"]
+	if !ok {
+		return fmt.Errorf("schedd_replication_lag_hours missing from /metrics")
+	}
+	fmt.Printf("scrape_submitted_total=%d\n", int(total))
+	fmt.Printf("scrape_replication_lag_hours=%d\n", int(lag))
+	if v, ok := sc.Samples[`schedd_backpressure_total{reason="queue_full"}`]; ok {
+		fmt.Printf("scrape_backpressure_queue_full=%d\n", int(v))
+	}
+	if c := sc.Sum("wal_fsync_seconds_count"); c > 0 {
+		fmt.Printf("scrape_wal_fsyncs=%d\n", int(c))
+	}
+	fmt.Printf("scrape_ok=1 (%d series)\n", len(sc.Samples))
+	return nil
 }
 
 // latencySummary reports the nearest-rank p50/p95/p99 and the max of a

@@ -9,6 +9,13 @@
 //	curl -X POST localhost:9090/v1/jobs -d '{"origin":"DE","length_hours":6,"slack_hours":24,"interruptible":true}'
 //	curl localhost:9090/v1/jobs/0
 //	curl localhost:9090/v1/stats
+//	curl localhost:9090/metrics
+//
+// GET /metrics serves the full instrumentation surface in Prometheus
+// text format — scheduling counters, submit/step latency histograms,
+// WAL fsync timings, replication lag — ready to scrape with the config
+// in examples/dashboard/; docs/OBSERVABILITY.md documents every
+// family.
 //
 // On SIGINT/SIGTERM the HTTP server drains in-flight requests, then the
 // fleet runs forward until every admitted job is resolved, and the

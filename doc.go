@@ -79,6 +79,19 @@
 // health-probe loss; the CI failover e2e kills the primary with
 // kill -9 mid-load and asserts zero acknowledged-job loss.
 //
+// The service is observable: every cmd/ server exposes GET /metrics
+// in the Prometheus text format via internal/metrics, a dependency-
+// free registry whose hot-path cost is a few atomics. Scheduling
+// counters are callback-backed over the same fleet counters /v1/stats
+// reads (the two endpoints cannot disagree), latency histograms cover
+// submission, stepping, and WAL fsync, and followers report
+// replication lag and apply rate. docs/OBSERVABILITY.md documents
+// every family, docs/RUNBOOK.md gives per-alert remediation, and
+// examples/dashboard/ ships scrape config, alert rules, and a Grafana
+// dashboard — all pinned to the live /metrics surface by a drift
+// test. cmd/loadgen's -scrape mode asserts the metrics pipeline end
+// to end in CI.
+//
 // Determinism is load-bearing: stochastic cells derive their random
 // streams by pre-splitting an explicitly seeded generator
 // (internal/rng.SplitN), never from worker identity or scheduling

@@ -1,0 +1,15 @@
+// Package dashboard holds the example monitoring stack — Prometheus
+// scrape config, alert rules, and a Grafana dashboard — for a
+// carbonshift deployment. There is no Go code to import here; the
+// package exists so the drift test alongside the files runs under the
+// ordinary ./... test sweep, pinning three invariants:
+//
+//   - every metric name referenced by dashboard.json and alerts.yml
+//     exists on a live server's /metrics,
+//   - every alert shipped in alerts.yml has a matching section in
+//     docs/RUNBOOK.md,
+//   - every family a live server exposes is documented in
+//     docs/OBSERVABILITY.md.
+//
+// See README.md in this directory for the quickstart.
+package dashboard

@@ -31,6 +31,8 @@ import (
 
 	"carbonshift/internal/forecast"
 	"carbonshift/internal/httpx"
+	"carbonshift/internal/metrics"
+	"carbonshift/internal/serve"
 	"carbonshift/internal/trace"
 )
 
@@ -91,6 +93,9 @@ type Server struct {
 	set        *trace.Set
 	now        func() time.Time
 	forecaster forecast.Forecaster
+
+	registry *metrics.Registry
+	httpmx   *serve.HTTPMetrics
 }
 
 // Option configures a Server.
@@ -107,6 +112,25 @@ func WithClock(now func() time.Time) Option {
 func WithForecaster(f forecast.Forecaster) Option {
 	return func(s *Server) { s.forecaster = f }
 }
+
+// WithMetrics enables GET /metrics: the shared http_* request families
+// plus carbonapi_trace_hour / carbonapi_regions gauges.
+func WithMetrics() Option {
+	return func(s *Server) {
+		r := metrics.NewRegistry()
+		s.registry = r
+		s.httpmx = serve.NewHTTPMetrics(r)
+		r.NewGaugeFunc("carbonapi_trace_hour",
+			"The replay hour /latest answers from, clamped into the dataset span.",
+			func() float64 { return float64(s.nowHour()) })
+		r.NewGaugeFunc("carbonapi_regions",
+			"Regions in the served trace set.",
+			func() float64 { return float64(len(s.set.Regions())) })
+	}
+}
+
+// Metrics returns the server's registry (nil unless WithMetrics).
+func (s *Server) Metrics() *metrics.Registry { return s.registry }
 
 // NewServer builds a server over the set.
 func NewServer(set *trace.Set, opts ...Option) *Server {
@@ -144,6 +168,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/carbon-intensity/{region}/history", s.handleHistory)
 	mux.HandleFunc("GET /v1/carbon-intensity/{region}/forecast", s.handleForecast)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.registry != nil {
+		mux.Handle("GET /metrics", s.registry.Handler())
+		return s.httpmx.Wrap(mux)
+	}
 	return mux
 }
 

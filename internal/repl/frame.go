@@ -30,6 +30,13 @@
 // individually checksummed so a truncated or corrupted stream is
 // detected at the frame where it happens; the decoder never panics on
 // hostile input (see FuzzReplStreamDecode).
+//
+// Observability: Tail.Register (metrics.go) exposes the session's
+// counters as repl_* families on a metrics registry — records
+// applied, snapshot bootstraps, stream reconnects, and the primary's
+// heartbeat hour — the inputs behind the follower apply-rate and
+// replication-lag panels in examples/dashboard/ and the
+// ScheddReplicationLagHigh runbook entry.
 package repl
 
 import (

@@ -36,6 +36,12 @@ type Fleet struct {
 	// deterministic submission order: it is called once per job that
 	// runs during a Step, after the hour's placements are final.
 	OnPlace func(hour, jobID int, region string)
+
+	// OnPlaceDetail, when non-nil, additionally observes the job's
+	// origin region — the hook the metrics layer uses to attribute
+	// carbon saved versus a run-at-origin counterfactual. Fired
+	// immediately after OnPlace, in the same deterministic order.
+	OnPlaceDetail func(hour, jobID int, region, origin string)
 }
 
 // state is the mutable per-job bookkeeping.
@@ -282,6 +288,9 @@ func (f *Fleet) Step() error {
 		f.slotHoursUsed++
 		if f.OnPlace != nil {
 			f.OnPlace(hour, st.ID, region)
+		}
+		if f.OnPlaceDetail != nil {
+			f.OnPlaceDetail(hour, st.ID, region, st.Origin)
 		}
 		if st.progress == st.Length {
 			st.done = true

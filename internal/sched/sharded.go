@@ -89,6 +89,11 @@ type ShardedFleet struct {
 	// Set it before the first Step; it must not call back into the
 	// fleet.
 	OnPlace func(hour, jobID int, region string)
+
+	// OnPlaceDetail mirrors Fleet.OnPlaceDetail: the origin-carrying
+	// recorder fired after OnPlace in the serial epilogue, in the same
+	// deterministic order. It must not call back into the fleet.
+	OnPlaceDetail func(hour, jobID int, region, origin string)
 }
 
 // sstate is the sharded fleet's per-job bookkeeping. It mirrors state
@@ -572,6 +577,9 @@ func (f *ShardedFleet) Step() error {
 		f.emissionsG += f.traces[st.regionI].At(hour)
 		if f.OnPlace != nil {
 			f.OnPlace(hour, st.ID, st.region)
+		}
+		if f.OnPlaceDetail != nil {
+			f.OnPlaceDetail(hour, st.ID, st.region, st.Origin)
 		}
 		if st.done {
 			f.completed++

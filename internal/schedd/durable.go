@@ -98,6 +98,11 @@ func (s *Server) openDurable() error {
 		return err
 	}
 	opts := wal.Options{Sync: s.cfg.Sync, BatchInterval: s.cfg.SyncInterval}
+	if s.mx != nil {
+		// One JournalMetrics spans generation rotations: wal_* series
+		// are cumulative over the server's life, not per journal file.
+		opts.Metrics = s.mx.wal
+	}
 	d := &durable{store: store, opts: opts}
 
 	gen, payload, err := store.LatestSnapshot()

@@ -96,6 +96,7 @@ func NewFollower(set *trace.Set, clusters []sched.Cluster, cfg Config, fcfg Foll
 		hc:   hc,
 		tail: repl.NewTail(fcfg.Primary, s, hc, repl.TailConfig{ReconnectDelay: fcfg.ReconnectDelay}),
 	}
+	s.fol.tail.Register(s.Metrics())
 	return s, nil
 }
 

@@ -1,0 +1,210 @@
+package schedd
+
+// The server's Prometheus instrumentation (GET /metrics). Two rules
+// shape it:
+//
+// 1. Fleet-derived quantities are callback-backed (CounterFunc /
+//    GaugeFunc over the fleet's O(shards) incremental counters), so
+//    /metrics and /v1/stats read the same numbers and can never
+//    disagree — a property the metrics parity test pins.
+//
+// 2. Hot paths pay atomics only. The submit handler observes one
+//    histogram sample; admission rejections bump a counter; Step wraps
+//    one timestamp pair around the fleet call under stepMu. Nothing on
+//    a request path takes a metrics lock or allocates.
+//
+// Carbon-saved attribution: for every executed job-hour the fleet's
+// OnPlaceDetail hook (serial Step epilogue) adds
+//
+//	I(origin, hour) − I(placed region, hour)
+//
+// to schedd_carbon_saved_grams{policy="..."} — the emissions a
+// counterfactual scheduler running the same job-hour at the job's
+// origin region would have paid, minus what the policy actually paid.
+// This is the paper's spatial-shifting savings, measured live;
+// temporal shifting additionally moves the hour itself, which this
+// per-hour counterfactual credits whenever the deferred hour is
+// cleaner at the origin too. FIFO places every job at its origin, so
+// its gauge reads ~0 — the sanity anchor.
+
+import (
+	"net/http"
+	"time"
+
+	"carbonshift/internal/metrics"
+	"carbonshift/internal/sched"
+	"carbonshift/internal/serve"
+	"carbonshift/internal/trace"
+	"carbonshift/internal/wal"
+)
+
+// serverMetrics bundles the server's instruments. A nil *serverMetrics
+// (WithoutMetrics) disables all instrumentation.
+type serverMetrics struct {
+	registry *metrics.Registry
+
+	submitSeconds *metrics.Histogram
+	stepSeconds   *metrics.Histogram
+	backpressure  *metrics.CounterVec
+	carbonSaved   *metrics.Gauge // the policy-labeled child
+
+	wal  *wal.JournalMetrics
+	http *serve.HTTPMetrics
+
+	// traces maps cluster regions to their carbon traces for the
+	// carbon-saved counterfactual (read-only after construction).
+	traces map[string]*trace.Trace
+}
+
+// WithoutMetrics disables the /metrics endpoint and all
+// instrumentation — the un-instrumented baseline the benchmark suite
+// compares against.
+func WithoutMetrics() Option {
+	return func(s *Server) { s.noMetrics = true }
+}
+
+// Metrics returns the server's registry (nil when built
+// WithoutMetrics), so embedders can add their own families.
+func (s *Server) Metrics() *metrics.Registry {
+	if s.mx == nil {
+		return nil
+	}
+	return s.mx.registry
+}
+
+// initMetrics registers every schedd_* family and wires the fleet's
+// placement hook. Called from New before recovery runs, so the journal
+// opened by openDurable is metered from its first record — but
+// recovery's own replay stepping deliberately bypasses stepOnce, so
+// schedd_step_latency_seconds covers live stepping only.
+func (s *Server) initMetrics(set *trace.Set) {
+	r := metrics.NewRegistry()
+	mx := &serverMetrics{
+		registry: r,
+		traces:   make(map[string]*trace.Trace, len(s.clusters)),
+		wal:      wal.NewJournalMetrics(r),
+		http:     serve.NewHTTPMetrics(r),
+	}
+	for _, c := range s.clusters {
+		if tr, ok := set.Get(c.Region); ok {
+			mx.traces[c.Region] = tr
+		}
+	}
+
+	st := func() sched.FleetStats { return s.fleet.Stats() }
+	r.NewCounterFunc("schedd_jobs_submitted_total",
+		"Jobs admitted into the fleet (recovered jobs included).",
+		func() float64 { return float64(st().Submitted) })
+	r.NewCounterFunc("schedd_jobs_completed_total",
+		"Jobs that finished all their work.",
+		func() float64 { return float64(st().Completed) })
+	r.NewCounterFunc("schedd_jobs_missed_total",
+		"Jobs whose deadline passed before completion.",
+		func() float64 { return float64(st().Missed) })
+	r.NewGaugeFunc("schedd_jobs_running",
+		"Jobs that executed in the most recent fleet hour.",
+		func() float64 { return float64(st().Running) })
+	r.NewGaugeFunc("schedd_queue_depth",
+		"Admitted jobs waiting (unresolved minus running) — the same number /v1/stats reports as queue_depth.",
+		func() float64 { return float64(st().Queued) })
+	r.NewGaugeFunc("schedd_jobs_unresolved",
+		"Admitted jobs not yet completed or missed; the quantity bounded by schedd_queue_limit.",
+		func() float64 { return float64(st().Unresolved) })
+	r.NewGaugeFunc("schedd_fleet_hour",
+		"The fleet's current replay hour.",
+		func() float64 { return float64(st().Hour) })
+	r.NewGaugeFunc("schedd_fleet_horizon_hours",
+		"The exclusive final replay hour.",
+		func() float64 { return float64(s.cfg.Horizon) })
+	r.NewGaugeFunc("schedd_job_limit",
+		"Config.MaxJobs: total jobs the store retains before 503s.",
+		func() float64 { return float64(s.cfg.MaxJobs) })
+	r.NewGaugeFunc("schedd_queue_limit",
+		"Config.MaxQueue: unresolved jobs allowed before 503s.",
+		func() float64 { return float64(s.cfg.MaxQueue) })
+	r.NewGaugeFunc("schedd_jobs_stored",
+		"Jobs currently retained in the store; the quantity bounded by schedd_job_limit.",
+		func() float64 { return float64(s.fleet.Jobs()) })
+	r.NewCounterFunc("schedd_emissions_grams_total",
+		"Cumulative emissions of executed work, gCO2eq — /v1/stats total_emissions_g.",
+		func() float64 { return st().TotalEmissions })
+	r.NewGaugeFunc("schedd_utilization_ratio",
+		"Used slot-hours over elapsed slot-hours, 0..1.",
+		func() float64 { return st().Utilization() })
+	r.NewGaugeFunc("schedd_miss_rate",
+		"Missed jobs over submitted jobs, 0..1.",
+		func() float64 {
+			fs := st()
+			if fs.Submitted == 0 {
+				return 0
+			}
+			return float64(fs.Missed) / float64(fs.Submitted)
+		})
+	r.NewGaugeFunc("schedd_replication_lag_hours",
+		"Fleet hours this follower trails the primary's last heartbeat (0 on primaries and caught-up followers).",
+		func() float64 { return float64(s.replicationLag()) })
+	r.NewGaugeFunc("schedd_wal_generation",
+		"Live snapshot+journal generation (0 without a data dir).",
+		func() float64 { return float64(s.Generation()) })
+	r.NewGaugeFunc("schedd_recovered",
+		"1 when this process restored a previous incarnation's state (journal recovery or promotion).",
+		func() float64 {
+			if s.Recovery().Recovered {
+				return 1
+			}
+			return 0
+		})
+
+	mx.submitSeconds = r.NewHistogram("schedd_submit_latency_seconds",
+		"POST /v1/jobs handler duration, durability wait included.",
+		metrics.DefLatencyBuckets)
+	mx.stepSeconds = r.NewHistogram("schedd_step_latency_seconds",
+		"Duration of one live fleet Step (one replay hour).",
+		metrics.DefLatencyBuckets)
+	mx.backpressure = r.NewCounterVec("schedd_backpressure_total",
+		"Submissions rejected with 503, by reason.", "reason")
+	mx.carbonSaved = r.NewGaugeVec("schedd_carbon_saved_grams",
+		"Cumulative gCO2eq saved versus running each executed job-hour at the job's origin region.",
+		"policy").With(s.cfg.Policy.Name())
+
+	s.fleet.OnPlaceDetail = func(hour, _ int, region, origin string) {
+		if region == origin {
+			return
+		}
+		to, okTo := mx.traces[region]
+		from, okFrom := mx.traces[origin]
+		if okTo && okFrom {
+			mx.carbonSaved.Add(from.At(hour) - to.At(hour))
+		}
+	}
+	s.mx = mx
+}
+
+// stepOnce advances the fleet one hour, timing the step when metrics
+// are enabled. All live stepping (advance, Drain) goes through it;
+// recovery and follower replay do not.
+func (s *Server) stepOnce() error {
+	if s.mx == nil {
+		return s.fleet.Step()
+	}
+	t0 := time.Now()
+	err := s.fleet.Step()
+	s.mx.stepSeconds.Observe(time.Since(t0).Seconds())
+	return err
+}
+
+// countBackpressure records one 503 rejection.
+func (s *Server) countBackpressure(reason string) {
+	if s.mx != nil {
+		s.mx.backpressure.With(reason).Inc()
+	}
+}
+
+// handleMetrics serves GET /metrics. It advances the replay clock
+// first (best-effort — a poisoned server still serves its metrics, so
+// an operator can see what poisoned it) to keep the fleet-derived
+// gauges as fresh as a /v1/stats poll.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.advance() //nolint:errcheck — scrape must not fail with the server
+	s.mx.registry.Handler().ServeHTTP(w, r)
+}

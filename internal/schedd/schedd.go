@@ -8,6 +8,7 @@
 //	POST /v1/jobs          submit one job or a batch
 //	GET  /v1/jobs/{id}     status: queued/running/done/missed
 //	GET  /v1/stats         fleet emissions, utilization, miss rate
+//	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness
 //
 // Time is driven by the same injectable replay clock as
@@ -44,6 +45,15 @@
 // with 421 plus a primary hint, and promotes to primary on POST
 // /v1/repl/promote or on primary health-probe loss (see repl.go,
 // follower.go, and the replication/chaos/failover tests).
+//
+// Observability: GET /metrics serves every schedd_*, wal_*, repl_*,
+// and http_* family (metrics.go) in Prometheus text format.
+// Fleet-derived series are callback-backed over the same counters
+// /v1/stats reads, so the two endpoints cannot disagree — a parity
+// the metrics tests pin. Instrumentation is nil-safe and lock-cheap;
+// WithoutMetrics disables it entirely for baseline benchmarking. The
+// metric reference is docs/OBSERVABILITY.md; alert rules and the
+// Grafana dashboard live in examples/dashboard/.
 package schedd
 
 import (
@@ -154,6 +164,12 @@ type Server struct {
 	fol       *followerState
 	source    *repl.Source
 	onPromote func(hour int)
+
+	// mx is the /metrics instrumentation (nil when built
+	// WithoutMetrics); noMetrics records the option before initMetrics
+	// would run. See metrics.go.
+	mx        *serverMetrics
+	noMetrics bool
 }
 
 type serverFailure struct{ err error }
@@ -205,6 +221,11 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	// Metrics come up before the durable layer so the journal opened by
+	// openDurable is metered from its first record.
+	if !s.noMetrics {
+		s.initMetrics(set)
 	}
 	// Recovery runs after the options so an injected recorder observes
 	// replayed placements exactly as it would have observed them live.
@@ -259,7 +280,7 @@ func (s *Server) advance() error {
 	}
 	stepped := false
 	for s.fleet.Hour() < target {
-		if err := s.fleet.Step(); err != nil {
+		if err := s.stepOnce(); err != nil {
 			s.failed.Store(&serverFailure{err})
 			return err
 		}
@@ -375,12 +396,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
 	mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
 	mux.HandleFunc("POST /v1/repl/promote", s.handleReplPromote)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	if s.mx != nil {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	var h http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.isFollower() {
 			w.Header().Set("X-Replication-Lag-Hours", strconv.Itoa(s.replicationLag()))
 		}
 		mux.ServeHTTP(w, r)
 	})
+	if s.mx != nil {
+		h = s.mx.http.Wrap(h)
+	}
+	return h
 }
 
 // decodeSubmit parses the POST /v1/jobs payload — a bare JobRequest or
@@ -398,6 +426,10 @@ func decodeSubmit(r io.Reader) ([]JobRequest, error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if mx := s.mx; mx != nil {
+		t0 := time.Now()
+		defer func() { mx.submitSeconds.Observe(time.Since(t0).Seconds()) }()
+	}
 	if s.isFollower() {
 		s.writeMisdirected(w)
 		return
@@ -442,9 +474,11 @@ func (s *Server) admit(batch []JobRequest) (resp SubmitResponse, journal *wal.Jo
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
 	if s.fleet.Jobs()+len(batch) > s.cfg.MaxJobs {
+		s.countBackpressure("job_store_full")
 		return resp, nil, 0, http.StatusServiceUnavailable, errors.New("job store full")
 	}
 	if s.fleet.Outstanding()+len(batch) > s.cfg.MaxQueue {
+		s.countBackpressure("queue_full")
 		return resp, nil, 0, http.StatusServiceUnavailable, errors.New("queue full")
 	}
 	jobs := make([]sched.Job, len(batch))
@@ -482,6 +516,7 @@ func (s *Server) admit(batch []JobRequest) (resp SubmitResponse, journal *wal.Jo
 	arrival, err := s.fleet.SubmitNow(jobs...)
 	if err != nil {
 		if errors.Is(err, sched.ErrHorizonExhausted) {
+			s.countBackpressure("horizon_exhausted")
 			return resp, nil, 0, http.StatusServiceUnavailable, errors.New("replay horizon exhausted")
 		}
 		return resp, nil, 0, http.StatusBadRequest, err
@@ -607,7 +642,7 @@ func (s *Server) Drain() (sched.Result, error) {
 	}
 	stepped := false
 	for !s.fleet.Done() && s.fleet.Outstanding() > 0 {
-		if err := s.fleet.Step(); err != nil {
+		if err := s.stepOnce(); err != nil {
 			s.failed.Store(&serverFailure{err})
 			return sched.Result{}, err
 		}

@@ -22,6 +22,15 @@
 // does not match, and Replay stops there, reporting how many bytes
 // were valid so the caller can discard the tail. Corruption never
 // panics and never yields a partial record.
+//
+// Observability: Options.Metrics accepts a JournalMetrics (metrics.go)
+// that meters every append and fsync — wal_fsync_seconds and
+// wal_fsync_batch_records histograms, record/byte counters — exposed
+// by the embedding server's /metrics. The fsync timing wraps the
+// actual f.Sync() call in both sync modes, and batch size is the
+// count of records a flush made newly durable, so the histogram pair
+// reads as "how long did durability take, and how many acks shared
+// it". See docs/OBSERVABILITY.md for the family reference.
 package wal
 
 import (
@@ -103,6 +112,10 @@ type Options struct {
 	// BatchInterval is the SyncBatch flush cadence (default
 	// DefaultBatchInterval). Ignored in the other modes.
 	BatchInterval time.Duration
+	// Metrics, when non-nil, receives fsync latency, group-commit
+	// batch size, and append counters (see JournalMetrics). Safe to
+	// share across journals — schedd reuses one across generations.
+	Metrics *JournalMetrics
 }
 
 // Journal is an append-only record log. Append, AppendNoWait,
@@ -125,6 +138,12 @@ type Journal struct {
 	synced  uint64
 	syncing bool
 
+	// metrics instruments the journal (nil = un-metered); obsSeq is the
+	// highest record sequence whose durability has been observed into
+	// the batch-size histogram, shared by both fsync paths.
+	metrics *JournalMetrics
+	obsSeq  uint64
+
 	// SyncBatch state.
 	dirty bool
 	stop  chan struct{}
@@ -142,9 +161,10 @@ func Create(path string, opts Options) (*Journal, error) {
 		return nil, fmt.Errorf("wal: create journal: %w", err)
 	}
 	j := &Journal{
-		f:    f,
-		w:    bufio.NewWriterSize(f, 1<<16),
-		mode: opts.Sync,
+		f:       f,
+		w:       bufio.NewWriterSize(f, 1<<16),
+		mode:    opts.Sync,
+		metrics: opts.Metrics,
 	}
 	j.cond = sync.NewCond(&j.mu)
 	j.w.WriteString(journalMagic)
@@ -179,18 +199,26 @@ func (j *Journal) flusher(interval time.Duration) {
 				continue
 			}
 			j.dirty = false
+			target := j.seq
+			batch := target - j.obsSeq
 			err := j.w.Flush()
 			j.mu.Unlock()
+			start := time.Now()
 			if err == nil {
 				err = j.f.Sync()
 			}
+			j.mu.Lock()
 			if err != nil {
-				j.mu.Lock()
 				if j.err == nil {
 					j.err = err
 				}
-				j.mu.Unlock()
+			} else {
+				if target > j.obsSeq {
+					j.obsSeq = target
+				}
+				j.metrics.observeFsync(start, batch)
 			}
+			j.mu.Unlock()
 		}
 	}
 }
@@ -240,6 +268,7 @@ func (j *Journal) AppendNoWait(payload []byte) (uint64, error) {
 	if j.mode == SyncBatch {
 		j.dirty = true
 	}
+	j.metrics.observeAppend(len(payload))
 	return j.seq, nil
 }
 
@@ -284,8 +313,10 @@ func (j *Journal) syncTo(my uint64) error {
 func (j *Journal) flushRoundLocked() {
 	j.syncing = true
 	target := j.seq
+	batch := target - j.obsSeq
 	err := j.w.Flush()
 	j.mu.Unlock()
+	start := time.Now()
 	if err == nil {
 		err = j.f.Sync()
 	}
@@ -293,8 +324,14 @@ func (j *Journal) flushRoundLocked() {
 	if err != nil && j.err == nil {
 		j.err = err
 	}
-	if err == nil && j.synced < target {
-		j.synced = target
+	if err == nil {
+		if j.synced < target {
+			j.synced = target
+		}
+		if target > j.obsSeq {
+			j.obsSeq = target
+		}
+		j.metrics.observeFsync(start, batch)
 	}
 	j.syncing = false
 	j.cond.Broadcast()
