@@ -10,6 +10,7 @@
 //	curl 'localhost:8080/v1/carbon-intensity/US-CA/forecast?hours=24'
 //	curl 'localhost:8080/v1/carbon-intensity/batch?regions=DE,SE,US-CA'
 //	curl localhost:8080/metrics
+//	curl localhost:8080/debug/traces
 //
 // SIGINT/SIGTERM shuts the server down gracefully, draining in-flight
 // requests.
@@ -18,7 +19,7 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,24 +29,31 @@ import (
 	"carbonshift/internal/carbonapi"
 	"carbonshift/internal/serve"
 	"carbonshift/internal/simgrid"
+	"carbonshift/internal/tracing"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		speedup = flag.Float64("speedup", 3600, "trace seconds per wall second (3600 = 1h/s)")
-		start   = flag.Int("start-hour", 24*14, "trace hour mapped to process start (leaves forecast warmup)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		speedup     = flag.Float64("speedup", 3600, "trace seconds per wall second (3600 = 1h/s)")
+		start       = flag.Int("start-hour", 24*14, "trace hour mapped to process start (leaves forecast warmup)")
+		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N requests into /debug/traces (0 = default 16, negative = never)")
+		traceSlow   = flag.Duration("trace-slow", 0, "always record requests slower than this (0 = default 250ms)")
+		debugAddr   = flag.String("debug-addr", "", "operator debug listener (pprof); empty = disabled. Bind it to loopback.")
 	)
 	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("service", "carbonapi")
+	slog.SetDefault(log)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintln(os.Stderr, "carbonapi: generating 123-region dataset...")
+	log.Info("generating dataset", "regions", 123)
 	set, err := simgrid.GenerateAll(simgrid.Config{Seed: *seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "carbonapi:", err)
+		log.Error("dataset generation failed", "err", err)
 		os.Exit(1)
 	}
 
@@ -55,18 +63,37 @@ func main() {
 		simElapsed := time.Duration(float64(elapsed) * *speedup)
 		return set.Start().Add(time.Duration(*start)*time.Hour + simElapsed)
 	}
-	srv := carbonapi.NewServer(set, carbonapi.WithClock(clock), carbonapi.WithMetrics())
+	srv := carbonapi.NewServer(set,
+		carbonapi.WithClock(clock),
+		carbonapi.WithMetrics(),
+		carbonapi.WithTracing(tracing.Config{SampleEvery: *traceSample, SlowThreshold: *traceSlow}),
+	)
 
-	fmt.Fprintf(os.Stderr, "carbonapi: serving %d regions on %s (replay speedup %.0fx)\n",
-		set.Size(), *addr, *speedup)
+	if *debugAddr != "" {
+		debug := &http.Server{
+			Addr: *debugAddr,
+			Handler: serve.NewDebugMux(map[string]http.Handler{
+				"/debug/traces": srv.Tracer().Handler(),
+			}),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Info("debug listener up", "addr", *debugAddr)
+			if err := serve.ListenAndServe(ctx, debug, time.Second); err != nil {
+				log.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
+	log.Info("serving", "regions", set.Size(), "addr", *addr, "speedup", *speedup)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if err := serve.ListenAndServe(ctx, server, serve.DefaultGrace); err != nil {
-		fmt.Fprintln(os.Stderr, "carbonapi:", err)
+		log.Error("server failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "carbonapi: shut down cleanly")
+	log.Info("shut down cleanly")
 }

@@ -44,6 +44,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -62,6 +63,7 @@ import (
 	"carbonshift/internal/schedd"
 	"carbonshift/internal/simgrid"
 	"carbonshift/internal/stats"
+	"carbonshift/internal/tracing"
 	"carbonshift/internal/workload"
 )
 
@@ -91,6 +93,7 @@ func main() {
 		profileName   = flag.String("profile", "steady", "scenario profile: "+profileNames())
 		reportEvery   = flag.Duration("report-every", 0, "print a progress line to stderr at this interval while submitting (0 = off)")
 		scrape        = flag.Bool("scrape", false, "after the run, scrape the server's /metrics and assert it parses and agrees with the run and /v1/stats; exits non-zero on mismatch")
+		slowest       = flag.Int("slowest", 0, "mint a sampled traceparent per request, then fetch the server's /debug/traces and print the N slowest submit traces as span waterfalls (0 = off)")
 	)
 	flag.Parse()
 
@@ -171,6 +174,15 @@ func main() {
 		}
 	}
 
+	// With -slowest, every request carries a sampled traceparent: the
+	// server records each submit into its trace ring, and the post-run
+	// fetch can rank them. The local ring is irrelevant — the tracer
+	// exists to mint propagable trace context.
+	var tracer *tracing.Tracer
+	if *slowest > 0 {
+		tracer = tracing.New(tracing.Config{SampleEvery: 1, RingSize: 1})
+	}
+
 	// Fan the stream across concurrent submitters. Each request carries
 	// up to -batch jobs; a shared ticker paces the global rate.
 	var (
@@ -232,7 +244,13 @@ func main() {
 					}
 				}
 				t0 := time.Now()
-				ack, err := client.Submit(ctx, chunk...)
+				cctx := ctx
+				var sp *tracing.Span
+				if tracer != nil {
+					cctx, sp = tracer.StartRoot(ctx, "loadgen.submit")
+				}
+				ack, err := client.Submit(cctx, chunk...)
+				sp.End()
 				elapsed := time.Since(t0)
 				mu.Lock()
 				if err != nil {
@@ -316,6 +334,12 @@ func main() {
 	if *scrape {
 		if err := scrapeAndAssert(ctx, client, submitted, final); err != nil {
 			fatal(fmt.Errorf("scrape: %w", err))
+		}
+	}
+
+	if *slowest > 0 {
+		if err := printSlowest(ctx, client, *slowest); err != nil {
+			fatal(fmt.Errorf("slowest: %w", err))
 		}
 	}
 
@@ -447,6 +471,59 @@ func scrapeAndAssert(ctx context.Context, client *schedd.Client, submitted int, 
 		fmt.Printf("scrape_wal_fsyncs=%d\n", int(c))
 	}
 	fmt.Printf("scrape_ok=1 (%d series)\n", len(sc.Samples))
+	return nil
+}
+
+// printSlowest fetches the server's trace ring, ranks this run's
+// submit traces by duration, and prints the n slowest as span
+// waterfalls — the "p99 is high, show me why" tool. The route filter
+// keeps only POST /v1/jobs roots, so stats polls and scrapes never
+// rank. Ends with a machine-readable trace_slowest_ms= line the CI
+// e2e leg greps.
+func printSlowest(ctx context.Context, client *schedd.Client, n int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		client.Endpoint()+"/debug/traces?route=POST%20/v1/jobs&limit=1000000", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/traces returned %s", resp.Status)
+	}
+	var dump tracing.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return fmt.Errorf("trace dump does not parse: %w", err)
+	}
+	if len(dump.Traces) == 0 {
+		return fmt.Errorf("server holds no submit traces (was it started with tracing disabled?)")
+	}
+	sort.Slice(dump.Traces, func(a, b int) bool {
+		return dump.Traces[a].DurationMS > dump.Traces[b].DurationMS
+	})
+	if n > len(dump.Traces) {
+		n = len(dump.Traces)
+	}
+	fmt.Printf("slowest %d of %d sampled submit traces\n", n, len(dump.Traces))
+	for _, td := range dump.Traces[:n] {
+		fmt.Printf("trace %s  %s  %.2fms\n", td.TraceID, td.Root, td.DurationMS)
+		for _, sp := range td.Spans {
+			var attrs strings.Builder
+			for _, a := range sp.Attrs {
+				fmt.Fprintf(&attrs, " %s=%s", a.Key, a.Value)
+			}
+			fmt.Printf("  +%8.2fms %9.2fms  %s%s\n",
+				float64(sp.Start.Sub(td.Start))/float64(time.Millisecond),
+				sp.DurationMS, sp.Name, attrs.String())
+		}
+		if td.DroppedSpans > 0 {
+			fmt.Printf("  (%d spans dropped)\n", td.DroppedSpans)
+		}
+	}
+	fmt.Printf("trace_slowest_ms=%.2f\n", dump.Traces[0].DurationMS)
 	return nil
 }
 

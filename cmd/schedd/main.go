@@ -48,6 +48,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -72,34 +73,40 @@ func main() {
 		days       = flag.Int("days", 60, "replay horizon in days")
 		policyName = flag.String("policy", "carbon-gate",
 			"scheduling policy: "+strings.Join(schedd.PolicyNames(), ", "))
-		percentile = flag.Float64("percentile", 35, "gate percentile for the gated policies")
-		window     = flag.Int("window", 168, "lookback window in hours for carbon-gate")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		shards     = flag.Int("shards", 0, "fleet region shards stepped in parallel (0 = min(CPUs, regions)); affects throughput only, never placements")
-		speedup    = flag.Float64("speedup", 3600, "trace seconds per wall second (3600 = 1h/s)")
-		maxJobs    = flag.Int("max-jobs", schedd.DefaultMaxJobs, "bound on total jobs retained in memory")
-		maxQueue   = flag.Int("max-queue", schedd.DefaultMaxQueue, "bound on outstanding (unresolved) jobs")
-		dataDir    = flag.String("data-dir", "", "durability directory: journal admissions, snapshot fleet state, and recover on start (empty = in-memory only)")
-		snapEvery  = flag.Int("snapshot-every", 24, "snapshot the fleet every N replay hours (0 = only at boot)")
-		fsyncMode  = flag.String("fsync", "batch", "journal fsync discipline: always (every ack durable), batch (group flush, bounded loss window), none")
-		follow     = flag.String("follow", "", "run as a hot-standby follower of the primary at this base URL (world config is copied from its /v1/stats)")
-		advertise  = flag.String("advertise", "", "this server's own public base URL, echoed in /v1/stats and used by operators wiring failover clients")
-		probeEvery = flag.Duration("probe-interval", 0, "follower: probe the primary's /healthz at this cadence and auto-promote on loss (0 = promote only via POST /v1/repl/promote)")
-		probeFails = flag.Int("probe-failures", 3, "follower: consecutive failed probes before auto-promotion")
+		percentile  = flag.Float64("percentile", 35, "gate percentile for the gated policies")
+		window      = flag.Int("window", 168, "lookback window in hours for carbon-gate")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		shards      = flag.Int("shards", 0, "fleet region shards stepped in parallel (0 = min(CPUs, regions)); affects throughput only, never placements")
+		speedup     = flag.Float64("speedup", 3600, "trace seconds per wall second (3600 = 1h/s)")
+		maxJobs     = flag.Int("max-jobs", schedd.DefaultMaxJobs, "bound on total jobs retained in memory")
+		maxQueue    = flag.Int("max-queue", schedd.DefaultMaxQueue, "bound on outstanding (unresolved) jobs")
+		dataDir     = flag.String("data-dir", "", "durability directory: journal admissions, snapshot fleet state, and recover on start (empty = in-memory only)")
+		snapEvery   = flag.Int("snapshot-every", 24, "snapshot the fleet every N replay hours (0 = only at boot)")
+		fsyncMode   = flag.String("fsync", "batch", "journal fsync discipline: always (every ack durable), batch (group flush, bounded loss window), none")
+		follow      = flag.String("follow", "", "run as a hot-standby follower of the primary at this base URL (world config is copied from its /v1/stats)")
+		advertise   = flag.String("advertise", "", "this server's own public base URL, echoed in /v1/stats and used by operators wiring failover clients")
+		probeEvery  = flag.Duration("probe-interval", 0, "follower: probe the primary's /healthz at this cadence and auto-promote on loss (0 = promote only via POST /v1/repl/promote)")
+		probeFails  = flag.Int("probe-failures", 3, "follower: consecutive failed probes before auto-promotion")
+		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N requests into /debug/traces (0 = default 16, 1 = every request, negative = never)")
+		traceSlow   = flag.Duration("trace-slow", 0, "always record requests slower than this, sampled or not (0 = default 250ms)")
+		debugAddr   = flag.String("debug-addr", "", "operator debug listener (pprof + /debug/traces); empty = disabled. Bind it to loopback.")
 	)
 	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("service", "schedd")
+	slog.SetDefault(log)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	policy, err := schedd.PolicyByName(*policyName, *percentile, *window)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedd:", err)
+		log.Error("bad -policy", "err", err)
 		os.Exit(2)
 	}
 	sync, err := wal.ParseSyncMode(*fsyncMode)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedd:", err)
+		log.Error("bad -fsync", "err", err)
 		os.Exit(2)
 	}
 
@@ -112,25 +119,25 @@ func main() {
 	if *follow != "" {
 		info, err := fetchPrimaryConfig(ctx, *follow)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "schedd:", err)
+			log.Error("fetching primary config failed", "err", err)
 			os.Exit(1)
 		}
 		if info.Policy != policy.Name() {
-			fmt.Fprintf(os.Stderr, "schedd: primary runs policy %q, this follower was started with %q — placements would diverge\n",
-				info.Policy, policy.Name())
+			log.Error("policy mismatch with primary — placements would diverge",
+				"primary_policy", info.Policy, "follower_policy", policy.Name())
 			os.Exit(2)
 		}
 		horizon, worldSeed = info.Horizon, info.Seed
 		for _, c := range info.Clusters {
 			clusters = append(clusters, sched.Cluster{Region: c.Region, Slots: c.Slots})
 		}
-		fmt.Fprintf(os.Stderr, "schedd: following %s (policy=%s, %d regions, horizon %dh, seed %d)\n",
-			*follow, info.Policy, len(clusters), horizon, worldSeed)
+		log.Info("following primary", "primary", *follow, "policy", info.Policy,
+			"regions", len(clusters), "horizon_hours", horizon, "seed", worldSeed)
 	} else {
 		for _, code := range strings.Split(*regionList, ",") {
 			code = strings.TrimSpace(code)
 			if _, ok := regions.ByCode(code); !ok {
-				fmt.Fprintf(os.Stderr, "schedd: unknown region %q\n", code)
+				log.Error("unknown region", "region", code)
 				os.Exit(2)
 			}
 			clusters = append(clusters, sched.Cluster{Region: code, Slots: *slots})
@@ -141,16 +148,16 @@ func main() {
 	for _, c := range clusters {
 		r, ok := regions.ByCode(c.Region)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "schedd: primary region %q not in catalog\n", c.Region)
+			log.Error("primary region not in catalog", "region", c.Region)
 			os.Exit(1)
 		}
 		regs = append(regs, r)
 	}
 
-	fmt.Fprintf(os.Stderr, "schedd: generating %d-region traces...\n", len(regs))
+	log.Info("generating traces", "regions", len(regs))
 	set, err := simgrid.GenerateCached(ctx, regs, simgrid.Config{Seed: worldSeed, Hours: horizon}, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedd:", err)
+		log.Error("trace generation failed", "err", err)
 		os.Exit(1)
 	}
 
@@ -182,6 +189,9 @@ func main() {
 		SnapshotEvery: *snapEvery,
 		Sync:          sync,
 		Advertise:     *advertise,
+
+		TraceSampleEvery: *traceSample,
+		TraceSlow:        *traceSlow,
 	}
 
 	var srv *schedd.Server
@@ -192,34 +202,51 @@ func main() {
 			ProbeFailures: *probeFails,
 		}, schedd.WithClock(clock), schedd.WithPromoteNotify(func(hour int) {
 			rebase(hour)
-			fmt.Fprintf(os.Stderr, "schedd: promoted to primary at hour %d\n", hour)
+			log.Info("promoted to primary", "hour", hour)
 		}))
 	} else {
 		srv, err = schedd.New(set, clusters, cfg, schedd.WithClock(clock))
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedd:", err)
+		log.Error("server construction failed", "err", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
 	rebase(srv.Hour())
 	if *dataDir != "" && *follow == "" {
 		if rec := srv.Recovery(); rec.Recovered {
-			fmt.Fprintf(os.Stderr,
-				"schedd: recovered %d jobs at hour %d from %s (snapshot hour %d, %d journal records replayed, torn tail: %v)\n",
-				rec.RecoveredJobs, srv.Hour(), *dataDir,
-				rec.RecoveredSnapshotHour, rec.ReplayedRecords, rec.TornTail)
+			log.Info("recovered previous incarnation", "jobs", rec.RecoveredJobs,
+				"hour", srv.Hour(), "data_dir", *dataDir,
+				"snapshot_hour", rec.RecoveredSnapshotHour,
+				"replayed_records", rec.ReplayedRecords, "torn_tail", rec.TornTail)
 		} else {
-			fmt.Fprintf(os.Stderr, "schedd: journaling to %s (fsync=%s, snapshot every %dh)\n",
-				*dataDir, sync, *snapEvery)
+			log.Info("journaling", "data_dir", *dataDir, "fsync", sync.String(), "snapshot_every_hours", *snapEvery)
 		}
 	}
 	srv.Start(ctx)
 
-	fmt.Fprintf(os.Stderr, "schedd: %s policy over %d regions on %s (replay speedup %.0fx)\n",
-		policy.Name(), len(clusters), *addr, *speedup)
+	// The operator debug mux: pprof plus the trace ring, on its own
+	// listener so profiling endpoints never ride the service address.
+	if *debugAddr != "" {
+		debug := &http.Server{
+			Addr: *debugAddr,
+			Handler: serve.NewDebugMux(map[string]http.Handler{
+				"/debug/traces": srv.Tracer().Handler(),
+			}),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Info("debug listener up", "addr", *debugAddr)
+			if err := serve.ListenAndServe(ctx, debug, time.Second); err != nil {
+				log.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
+	log.Info("serving", "policy", policy.Name(), "regions", len(clusters),
+		"addr", *addr, "speedup", *speedup)
 	if *shards != 0 {
-		fmt.Fprintf(os.Stderr, "schedd: fleet sharded %d ways\n", *shards)
+		log.Info("fleet sharded", "shards", *shards)
 	}
 	server := &http.Server{
 		Addr:              *addr,
@@ -232,30 +259,29 @@ func main() {
 	// batch window of acknowledged admissions, just like a kill -9.
 	if err := serve.ListenAndServe(ctx, server, serve.DefaultGrace); err != nil {
 		srv.Close()
-		fmt.Fprintln(os.Stderr, "schedd:", err)
+		log.Error("server failed", "err", err)
 		os.Exit(1)
 	}
 
 	if srv.Role() == "follower" {
 		// A follower holds no authority over the fleet: there is nothing
 		// to drain, the primary owns every acknowledged job.
-		fmt.Fprintln(os.Stderr, "schedd: follower stopped")
+		log.Info("follower stopped")
 		return
 	}
 
 	// HTTP is down; run the world forward so every admitted job is
 	// accounted for before exit.
-	fmt.Fprintln(os.Stderr, "schedd: draining fleet...")
+	log.Info("draining fleet")
 	res, err := srv.Drain()
 	if err != nil {
 		srv.Close()
-		fmt.Fprintln(os.Stderr, "schedd:", err)
+		log.Error("drain failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr,
-		"schedd: drained: %d jobs, %d completed, %d missed, %.1f kg CO2eq, %.1f%% utilization\n",
-		len(res.Outcomes), res.Completed, res.Missed,
-		res.TotalEmissions/1000, 100*res.Utilization())
+	log.Info("drained", "jobs", len(res.Outcomes), "completed", res.Completed,
+		"missed", res.Missed, "kg_co2eq", res.TotalEmissions/1000,
+		"utilization_pct", 100*res.Utilization())
 }
 
 // fetchPrimaryConfig polls the primary's /v1/stats until it answers

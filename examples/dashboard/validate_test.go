@@ -9,6 +9,8 @@ package dashboard
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"regexp"
 	"strings"
@@ -18,6 +20,7 @@ import (
 	"carbonshift/internal/carbonapi"
 	"carbonshift/internal/sched"
 	"carbonshift/internal/schedd"
+	"carbonshift/internal/serve"
 	"carbonshift/internal/trace"
 )
 
@@ -199,6 +202,68 @@ func TestPrometheusConfig(t *testing.T) {
 	for _, want := range []string{"- alerts.yml", "job_name: schedd", "job_name: carbonapi", "scrape_interval:"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("prometheus.yml is missing %q", want)
+		}
+	}
+}
+
+// TestDocDebugRoutesExist pins every /debug/... route the operator
+// docs mention to a live handler: each referenced path must be served
+// (non-404) by either the service handler (where /debug/traces lives)
+// or the -debug-addr operator mux (where pprof lives). A doc telling
+// an operator to curl a route that no longer exists fails here.
+func TestDocDebugRoutesExist(t *testing.T) {
+	var docs []string
+	for _, p := range []string{"../../docs/OBSERVABILITY.md", "../../docs/RUNBOOK.md"} {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, string(raw))
+	}
+	routes := map[string]bool{}
+	re := regexp.MustCompile(`/debug/[a-z]+/?`)
+	for _, doc := range docs {
+		for _, r := range re.FindAllString(doc, -1) {
+			routes[r] = true
+		}
+	}
+	if !routes["/debug/traces"] || !routes["/debug/pprof/"] {
+		t.Fatalf("docs reference %v; expected at least /debug/traces and /debug/pprof/", routes)
+	}
+
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	ci := make([]float64, 48)
+	for i := range ci {
+		ci[i] = 100
+	}
+	set, err := trace.NewSet([]*trace.Trace{trace.New("CLEAN", start, ci)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := schedd.New(set, []sched.Cluster{{Region: "CLEAN", Slots: 2}},
+		schedd.Config{Policy: sched.FIFO{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	handlers := map[string]http.Handler{
+		"service": srv.Handler(),
+		"debug mux": serve.NewDebugMux(map[string]http.Handler{
+			"/debug/traces": srv.Tracer().Handler(),
+		}),
+	}
+	for route := range routes {
+		served := false
+		for name, h := range handlers {
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, route, nil))
+			if rr.Code != http.StatusNotFound {
+				t.Logf("%s serves %s (%d)", name, route, rr.Code)
+				served = true
+			}
+		}
+		if !served {
+			t.Errorf("docs reference %s but no handler serves it", route)
 		}
 	}
 }

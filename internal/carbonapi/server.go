@@ -24,6 +24,7 @@ package carbonapi
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -34,6 +35,7 @@ import (
 	"carbonshift/internal/metrics"
 	"carbonshift/internal/serve"
 	"carbonshift/internal/trace"
+	"carbonshift/internal/tracing"
 )
 
 // Unit is the fixed unit of every intensity value served.
@@ -96,6 +98,7 @@ type Server struct {
 
 	registry *metrics.Registry
 	httpmx   *serve.HTTPMetrics
+	tracer   *tracing.Tracer
 }
 
 // Option configures a Server.
@@ -129,8 +132,20 @@ func WithMetrics() Option {
 	}
 }
 
+// WithTracing enables the span recorder: requests are head-sampled
+// into a bounded ring served at GET /debug/traces, and a traceparent
+// arriving from a carbon-aware client (say, a scheduler batch-fetching
+// intensities mid-admission) joins that client's trace. The zero
+// Config takes the package defaults.
+func WithTracing(cfg tracing.Config) Option {
+	return func(s *Server) { s.tracer = tracing.New(cfg) }
+}
+
 // Metrics returns the server's registry (nil unless WithMetrics).
 func (s *Server) Metrics() *metrics.Registry { return s.registry }
+
+// Tracer returns the server's span recorder (nil unless WithTracing).
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 
 // NewServer builds a server over the set.
 func NewServer(set *trace.Set, opts ...Option) *Server {
@@ -170,9 +185,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if s.registry != nil {
 		mux.Handle("GET /metrics", s.registry.Handler())
-		return s.httpmx.Wrap(mux)
 	}
-	return mux
+	if s.tracer != nil {
+		mux.Handle("GET /debug/traces", s.tracer.Handler())
+	}
+	var h http.Handler = mux
+	if s.httpmx != nil {
+		h = s.httpmx.Wrap(h)
+	}
+	h = serve.NewHTTPTracing(s.tracer, slog.Default()).Wrap(h)
+	return h
 }
 
 func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {

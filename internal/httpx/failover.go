@@ -153,6 +153,10 @@ func (e *Endpoints) DoJSON(ctx context.Context, hc *http.Client, method, path st
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		// Every attempt — first try, 421 redirect, safe replay — carries
+		// the SAME trace context from ctx: a failover must not change
+		// which trace the request belongs to.
+		injectTrace(req)
 		resp, err := hc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("%s: %s: %w", prefix, base, err)

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"carbonshift/internal/tracing"
 )
 
 // MaxBody bounds how much of any response or request body is read.
@@ -34,6 +36,7 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 // when one is present. Every error is prefixed with prefix (the client
 // package's name).
 func DoJSON(hc *http.Client, req *http.Request, prefix string, out any) error {
+	injectTrace(req)
 	resp, err := hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("%s: %w", prefix, err)
@@ -44,6 +47,16 @@ func DoJSON(hc *http.Client, req *http.Request, prefix string, out any) error {
 		return fmt.Errorf("%s: reading response: %w", prefix, err)
 	}
 	return DecodeResponse(resp.StatusCode, resp.Status, body, prefix, out)
+}
+
+// injectTrace stamps the request context's span context into the
+// traceparent header, so a trace started by the caller (the serve
+// middleware, or cmd/loadgen's client-side tracer) continues into the
+// server. Untraced contexts leave the request untouched.
+func injectTrace(req *http.Request) {
+	if sc := tracing.FromContext(req.Context()); sc.Valid() {
+		req.Header.Set(tracing.Header, sc.Traceparent())
+	}
 }
 
 // DecodeResponse maps one already-read response to the typed result:

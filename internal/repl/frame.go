@@ -37,6 +37,13 @@
 // heartbeat hour — the inputs behind the follower apply-rate and
 // replication-lag panels in examples/dashboard/ and the
 // ScheddReplicationLagHigh runbook entry.
+//
+// Tracing rides the records, not the frames: 'R' frames embed journal
+// record bytes verbatim, and a sampled request's trace ID is part of
+// the primary's admit record payload (internal/schedd's codec), so the
+// stream carries it with no protocol change — the follower's apply
+// spans join the originating trace under the same trace ID, and this
+// wire format (pinned by the stream golden test) is untouched.
 package repl
 
 import (

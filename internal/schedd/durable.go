@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"carbonshift/internal/sched"
+	"carbonshift/internal/tracing"
 	"carbonshift/internal/wal"
 )
 
@@ -97,7 +98,7 @@ func (s *Server) openDurable() error {
 		store.Close()
 		return err
 	}
-	opts := wal.Options{Sync: s.cfg.Sync, BatchInterval: s.cfg.SyncInterval}
+	opts := wal.Options{Sync: s.cfg.Sync, BatchInterval: s.cfg.SyncInterval, Trace: s.tr}
 	if s.mx != nil {
 		// One JournalMetrics spans generation rotations: wal_* series
 		// are cumulative over the server's life, not per journal file.
@@ -161,7 +162,7 @@ func (s *Server) applyRecord(payload []byte, maxWatermark *int) error {
 	}
 	switch payload[0] {
 	case recAdmit:
-		arrival, next, jobs, err := decodeAdmit(payload)
+		arrival, next, jobs, _, err := decodeAdmit(payload)
 		if err != nil {
 			return err
 		}
@@ -252,13 +253,13 @@ func (s *Server) maybeSnapshot() error {
 // admitMu fixes the record order, while the durability wait happens
 // after the lock is released so concurrent submitters share one
 // group-commit fsync.
-func (s *Server) journalAdmit(arrival, nextID int, jobs []sched.Job) (*wal.Journal, uint64, error) {
+func (s *Server) journalAdmit(arrival, nextID int, jobs []sched.Job, tid tracing.TraceID) (*wal.Journal, uint64, error) {
 	d := s.dur.Load()
 	if d == nil {
 		return nil, 0, nil
 	}
 	j := d.journal.Load()
-	seq, err := j.AppendNoWait(encodeAdmit(arrival, nextID, jobs))
+	seq, err := j.AppendNoWait(encodeAdmit(arrival, nextID, jobs, tid))
 	return j, seq, err
 }
 
@@ -365,29 +366,43 @@ func decodeServerSnapshot(payload []byte) (nextID int, fleetImg []byte, err erro
 	return nextID, rest, nil
 }
 
-func encodeAdmit(arrival, nextID int, jobs []sched.Job) []byte {
+// encodeAdmit appends the sampled trace's 16-byte ID after the job
+// batch — only when one is present, so unsampled records (the vast
+// majority) are byte-identical to the pre-tracing format and the
+// golden files still decode. The replication stream carries the record
+// verbatim, which is how the follower learns which trace its apply
+// span belongs to.
+func encodeAdmit(arrival, nextID int, jobs []sched.Job, tid tracing.TraceID) []byte {
 	buf := []byte{recAdmit}
 	buf = appendUvarint(buf, arrival)
 	buf = appendUvarint(buf, nextID)
-	return sched.EncodeJobs(buf, jobs)
+	buf = sched.EncodeJobs(buf, jobs)
+	if !tid.IsZero() {
+		buf = append(buf, tid[:]...)
+	}
+	return buf
 }
 
-func decodeAdmit(payload []byte) (arrival, nextID int, jobs []sched.Job, err error) {
+func decodeAdmit(payload []byte) (arrival, nextID int, jobs []sched.Job, tid tracing.TraceID, err error) {
 	rest := payload[1:]
 	if arrival, rest, err = readUvarint(rest); err != nil {
-		return 0, 0, nil, fmt.Errorf("admit record: %w", err)
+		return 0, 0, nil, tid, fmt.Errorf("admit record: %w", err)
 	}
 	if nextID, rest, err = readUvarint(rest); err != nil {
-		return 0, 0, nil, fmt.Errorf("admit record: %w", err)
+		return 0, 0, nil, tid, fmt.Errorf("admit record: %w", err)
 	}
 	jobs, rest, err = sched.DecodeJobs(rest)
 	if err != nil {
-		return 0, 0, nil, fmt.Errorf("admit record: %w", err)
+		return 0, 0, nil, tid, fmt.Errorf("admit record: %w", err)
 	}
-	if len(rest) != 0 {
-		return 0, 0, nil, fmt.Errorf("admit record: %d trailing bytes", len(rest))
+	switch len(rest) {
+	case 0: // untraced record (or one written before tracing existed)
+	case len(tid):
+		copy(tid[:], rest)
+	default:
+		return 0, 0, nil, tracing.TraceID{}, fmt.Errorf("admit record: %d trailing bytes", len(rest))
 	}
-	return arrival, nextID, jobs, nil
+	return arrival, nextID, jobs, tid, nil
 }
 
 func encodeWatermark(hour int) []byte {

@@ -205,6 +205,6 @@ func (s *Server) countBackpressure(reason string) {
 // an operator can see what poisoned it) to keep the fleet-derived
 // gauges as fresh as a /v1/stats poll.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.advance() //nolint:errcheck — scrape must not fail with the server
+	s.advance(r.Context()) //nolint:errcheck — scrape must not fail with the server
 	s.mx.registry.Handler().ServeHTTP(w, r)
 }

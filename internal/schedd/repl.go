@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"carbonshift/internal/repl"
+	"carbonshift/internal/tracing"
 	"carbonshift/internal/wal"
 )
 
@@ -140,10 +141,11 @@ func (s *Server) ApplyReplRecord(payload []byte) error {
 	}
 	switch payload[0] {
 	case recAdmit:
-		arrival, next, jobs, err := decodeAdmit(payload)
+		arrival, next, jobs, tid, err := decodeAdmit(payload)
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		if err := s.stepFleetTo(arrival); err != nil {
 			return err
 		}
@@ -151,6 +153,11 @@ func (s *Server) ApplyReplRecord(payload []byte) error {
 			return err
 		}
 		s.nextID = next
+		// A record that carried the primary's sampled trace ID joins
+		// that trace here: the apply span lands in THIS server's ring
+		// under the SAME trace ID — one trace, two processes.
+		s.tr.Record(tid, "repl.apply", tracing.SpanID{}, start, time.Since(start),
+			tracing.Int("jobs", len(jobs)), tracing.Int("arrival_hour", arrival))
 	case recWatermark:
 		hour, err := decodeWatermark(payload)
 		if err != nil {
@@ -234,7 +241,11 @@ func (s *Server) openPromotedDurable() error {
 		store.Close()
 		return fmt.Errorf("schedd: promote into %s: %w", s.cfg.DataDir, err)
 	}
-	d := &durable{store: store, opts: wal.Options{Sync: s.cfg.Sync, BatchInterval: s.cfg.SyncInterval}}
+	opts := wal.Options{Sync: s.cfg.Sync, BatchInterval: s.cfg.SyncInterval, Trace: s.tr}
+	if s.mx != nil {
+		opts.Metrics = s.mx.wal
+	}
+	d := &durable{store: store, opts: opts}
 	d.gen.Store(gen)
 	// The source is installed before dur becomes visible: handlers gate
 	// on the dur atomic, so whoever observes it non-nil also sees the

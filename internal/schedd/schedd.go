@@ -57,10 +57,12 @@
 package schedd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -70,7 +72,9 @@ import (
 	"carbonshift/internal/httpx"
 	"carbonshift/internal/repl"
 	"carbonshift/internal/sched"
+	"carbonshift/internal/serve"
 	"carbonshift/internal/trace"
+	"carbonshift/internal/tracing"
 	"carbonshift/internal/wal"
 )
 
@@ -121,6 +125,14 @@ type Config struct {
 	// /v1/stats so operators and failover clients can learn the
 	// topology. Optional.
 	Advertise string
+
+	// TraceSampleEvery head-samples 1 in N submit traces (0 =
+	// tracing.DefaultSampleEvery, 1 = every request, negative = never);
+	// TraceSlow is the always-sample-on-slow threshold (0 =
+	// tracing.DefaultSlowThreshold). See internal/tracing and
+	// WithoutTracing.
+	TraceSampleEvery int
+	TraceSlow        time.Duration
 }
 
 // Server is the online scheduling service.
@@ -170,6 +182,11 @@ type Server struct {
 	// would run. See metrics.go.
 	mx        *serverMetrics
 	noMetrics bool
+
+	// tr is the request tracer (nil when built WithoutTracing); every
+	// span call no-ops through it when nil. See tracing.go.
+	tr        *tracing.Tracer
+	noTracing bool
 }
 
 type serverFailure struct{ err error }
@@ -222,10 +239,14 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 	for _, o := range opts {
 		o(s)
 	}
-	// Metrics come up before the durable layer so the journal opened by
-	// openDurable is metered from its first record.
+	// Metrics and tracing come up before the durable layer so the
+	// journal opened by openDurable is metered and traced from its first
+	// record.
 	if !s.noMetrics {
 		s.initMetrics(set)
+	}
+	if !s.noTracing {
+		s.initTracing()
 	}
 	// Recovery runs after the options so an injected recorder observes
 	// replayed placements exactly as it would have observed them live.
@@ -259,8 +280,10 @@ func (s *Server) failure() error {
 
 // advance steps the fleet to the clock's current hour. The fast path —
 // the fleet already caught up — is a single atomic load; only requests
-// that actually cross an hour boundary contend on stepMu.
-func (s *Server) advance() error {
+// that actually cross an hour boundary contend on stepMu. ctx carries
+// the request's trace, so a submit that lands on an hour boundary
+// shows the catch-up cost as its own span.
+func (s *Server) advance(ctx context.Context) error {
 	if err := s.failure(); err != nil {
 		return err
 	}
@@ -273,11 +296,14 @@ func (s *Server) advance() error {
 	if int(s.known.Load()) >= target {
 		return nil
 	}
+	_, sp := tracing.StartSpan(ctx, "fleet.catchup")
+	defer sp.End()
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
 	if err := s.failure(); err != nil {
 		return err
 	}
+	from := s.fleet.Hour()
 	stepped := false
 	for s.fleet.Hour() < target {
 		if err := s.stepOnce(); err != nil {
@@ -286,6 +312,7 @@ func (s *Server) advance() error {
 		}
 		stepped = true
 	}
+	sp.SetAttr(tracing.Int("hours", s.fleet.Hour()-from))
 	if stepped {
 		if err := s.journalWatermark(s.fleet.Hour()); err != nil {
 			s.failed.Store(&serverFailure{err})
@@ -399,6 +426,9 @@ func (s *Server) Handler() http.Handler {
 	if s.mx != nil {
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
+	if s.tr != nil {
+		mux.Handle("GET /debug/traces", s.tr.Handler())
+	}
 	var h http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.isFollower() {
 			w.Header().Set("X-Replication-Lag-Hours", strconv.Itoa(s.replicationLag()))
@@ -408,6 +438,10 @@ func (s *Server) Handler() http.Handler {
 	if s.mx != nil {
 		h = s.mx.http.Wrap(h)
 	}
+	// Tracing wraps outermost so the root span covers the metrics
+	// wrapper too; the two compose in either order (the serve middleware
+	// test pins that), this order just keeps the span inclusive.
+	h = serve.NewHTTPTracing(s.tr, slog.Default()).Wrap(h)
 	return h
 }
 
@@ -434,16 +468,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeMisdirected(w)
 		return
 	}
+	ctx := r.Context()
+	_, dsp := tracing.StartSpan(ctx, "schedd.decode")
 	batch, err := decodeSubmit(http.MaxBytesReader(w, r.Body, httpx.MaxBody))
+	dsp.SetAttr(tracing.Int("jobs", len(batch)))
+	dsp.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	if err := s.advance(); err != nil {
+	if err := s.advance(ctx); err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
-	resp, journal, seq, status, err := s.admit(batch)
+	resp, journal, seq, status, err := s.admit(ctx, batch)
 	if err != nil {
 		writeJSON(w, status, ErrorResponse{Error: err.Error()})
 		return
@@ -453,7 +491,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// lets concurrent submitters share one group-commit fsync instead
 	// of serializing a full disk flush each.
 	if journal != nil {
-		if err := journal.WaitSynced(seq); err != nil {
+		_, wsp := tracing.StartSpan(ctx, "wal.fsync_wait")
+		err := journal.WaitSynced(seq)
+		wsp.End()
+		if err != nil {
 			s.failed.Store(&serverFailure{err})
 			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 			return
@@ -470,8 +511,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // map/list inserts plus an in-memory append); the scalability win of
 // the sharded design is that stepping, lookups, stats — and the
 // journal fsync — never contend with it.
-func (s *Server) admit(batch []JobRequest) (resp SubmitResponse, journal *wal.Journal, seq uint64, status int, err error) {
-	s.admitMu.Lock()
+func (s *Server) admit(ctx context.Context, batch []JobRequest) (resp SubmitResponse, journal *wal.Journal, seq uint64, status int, err error) {
+	ctx, sp := tracing.StartSpan(ctx, "schedd.admit")
+	defer sp.End()
+	if sp != nil {
+		lockStart := time.Now()
+		s.admitMu.Lock()
+		sp.SetAttr(tracing.Int("lock_wait_us", int(time.Since(lockStart).Microseconds())))
+	} else {
+		s.admitMu.Lock()
+	}
 	defer s.admitMu.Unlock()
 	if s.fleet.Jobs()+len(batch) > s.cfg.MaxJobs {
 		s.countBackpressure("job_store_full")
@@ -523,8 +572,16 @@ func (s *Server) admit(batch []JobRequest) (resp SubmitResponse, journal *wal.Jo
 	}
 	// Buffer the admission record before acknowledging (SubmitNow
 	// stamped the arrivals into jobs). A journal failure poisons the
-	// service — the fleet holds state the log does not.
-	journal, seq, err = s.journalAdmit(arrival, next, jobs)
+	// service — the fleet holds state the log does not. A sampled
+	// trace's ID rides the record so the replication follower's apply
+	// span joins this trace.
+	var tid tracing.TraceID
+	if sc := tracing.FromContext(ctx); sc.Sampled {
+		tid = sc.TraceID
+	}
+	_, asp := tracing.StartSpan(ctx, "wal.append")
+	journal, seq, err = s.journalAdmit(arrival, next, jobs, tid)
+	asp.End()
 	if err != nil {
 		s.failed.Store(&serverFailure{err})
 		return resp, nil, 0, http.StatusInternalServerError, err
@@ -539,7 +596,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "job id must be an integer"})
 		return
 	}
-	if err := s.advance(); err != nil {
+	if err := s.advance(r.Context()); err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
@@ -584,7 +641,7 @@ func jobState(info sched.JobInfo) string {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if err := s.advance(); err != nil {
+	if err := s.advance(r.Context()); err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}

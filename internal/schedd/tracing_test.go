@@ -1,0 +1,195 @@
+package schedd
+
+// The tracing acceptance test: one trace ID links a client submit →
+// schedd admission → WAL append → replication stream → follower apply,
+// across what are logically two processes (primary and follower
+// servers with separate tracers). Plus codec pinning for the optional
+// trace-ID suffix on admit records — old records (no suffix) must keep
+// decoding, so pre-tracing journals and golden files stay readable.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"carbonshift/internal/sched"
+	"carbonshift/internal/tracing"
+	"carbonshift/internal/wal"
+)
+
+func TestTraceLinksSubmitToFollowerApply(t *testing.T) {
+	clock := &hourClock{}
+	// The primary's own sampler is OFF: the only way anything records
+	// here is the sampled flag arriving in the client's traceparent —
+	// which is exactly the propagation chain under test.
+	primary, err := New(mkSet(t, crashHorizon), clusters(crashSlots), Config{
+		Policy: sched.FIFO{}, Horizon: crashHorizon,
+		DataDir: t.TempDir(), Sync: wal.SyncNone,
+		TraceSampleEvery: -1,
+	}, WithClock(clock.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	primary.source.Poll = 200 * time.Microsecond
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	follower, err := NewFollower(mkSet(t, crashHorizon), clusters(crashSlots), Config{
+		Policy: sched.FIFO{}, Horizon: crashHorizon,
+	}, FollowerConfig{
+		Primary:        ts.URL,
+		HTTPClient:     ts.Client(),
+		ReconnectDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	follower.Start(ctx)
+
+	// The client mints the trace, like cmd/loadgen -slowest does.
+	ctr := tracing.New(tracing.Config{SampleEvery: 1})
+	cctx, csp := ctr.StartRoot(context.Background(), "loadgen.submit")
+	tid := tracing.FromContext(cctx).TraceID
+	ack, err := client.Submit(cctx, JobRequest{Origin: "DIRTY", LengthHours: 2, SlackHours: 12})
+	csp.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+
+	// Primary side: the submit's server spans joined the client's trace.
+	var td *tracing.TraceDump
+	for _, cand := range primary.Tracer().Snapshot().Traces {
+		if cand.TraceID == tid.String() {
+			td = &cand
+			break
+		}
+	}
+	if td == nil {
+		t.Fatalf("primary /debug/traces holds no trace %s", tid)
+	}
+	if td.Root != "POST /v1/jobs" {
+		t.Fatalf("primary trace root = %q, want the submit route", td.Root)
+	}
+	have := map[string]bool{}
+	for _, s := range td.Spans {
+		have[s.Name] = true
+	}
+	for _, want := range []string{"POST /v1/jobs", "schedd.decode", "schedd.admit", "wal.append", "wal.fsync_wait"} {
+		if !have[want] {
+			t.Errorf("primary trace %s is missing span %q (have %v)", tid, want, td.Spans)
+		}
+	}
+
+	// Follower side: the admit record carried the trace ID through the
+	// stream, and the apply span joined the SAME trace over there.
+	waitUntil(t, "follower apply", func() bool { return follower.fleet.Jobs() >= 1 })
+	waitUntil(t, "follower apply span", func() bool {
+		for _, cand := range follower.Tracer().Snapshot().Traces {
+			if cand.TraceID == tid.String() {
+				return true
+			}
+		}
+		return false
+	})
+	for _, cand := range follower.Tracer().Snapshot().Traces {
+		if cand.TraceID != tid.String() {
+			continue
+		}
+		if cand.Root != "repl.apply" {
+			t.Fatalf("follower trace root = %q, want repl.apply", cand.Root)
+		}
+		return
+	}
+	t.Fatal("unreachable")
+}
+
+func TestAdmitRecordTraceIDCodec(t *testing.T) {
+	jobs := []sched.Job{
+		{ID: 1, Origin: "CLEAN", Length: 2, Slack: 3, Arrival: 5},
+		{ID: 2, Origin: "DIRTY", Length: 1, Slack: 0, Arrival: 5, Interruptible: true},
+	}
+
+	// Untraced records are byte-identical to the pre-tracing format.
+	old := encodeAdmit(5, 7, jobs, tracing.TraceID{})
+	arrival, next, gotJobs, tid, err := decodeAdmit(old)
+	if err != nil {
+		t.Fatalf("untraced record: %v", err)
+	}
+	if arrival != 5 || next != 7 || len(gotJobs) != 2 || !tid.IsZero() {
+		t.Fatalf("untraced decode = (%d, %d, %d jobs, tid %v)", arrival, next, len(gotJobs), tid)
+	}
+
+	// A sampled record round-trips its 16-byte trace ID.
+	want := tracing.TraceID{0xde, 0xad, 0xbe, 0xef, 15: 0x01}
+	traced := encodeAdmit(5, 7, jobs, want)
+	if got, wantLen := len(traced), len(old)+16; got != wantLen {
+		t.Fatalf("traced record is %d bytes, want %d", got, wantLen)
+	}
+	if _, _, _, tid, err = decodeAdmit(traced); err != nil || tid != want {
+		t.Fatalf("traced decode: tid=%v err=%v", tid, err)
+	}
+
+	// Any other trailing length is corruption, not a trace ID.
+	for _, extra := range []int{1, 8, 15, 17} {
+		bad := append(append([]byte{}, old...), make([]byte, extra)...)
+		if _, _, _, _, err := decodeAdmit(bad); err == nil {
+			t.Errorf("%d trailing bytes decoded without error", extra)
+		}
+	}
+}
+
+func TestRecoveryReplaysTracedRecords(t *testing.T) {
+	// A journal holding trace-ID-suffixed admit records must recover
+	// exactly like one without them.
+	dir := t.TempDir()
+	clock := &hourClock{}
+	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), Config{
+		Policy: sched.FIFO{}, Horizon: crashHorizon,
+		DataDir: dir, Sync: wal.SyncNone,
+		TraceSampleEvery: 1, // every submit stamps its trace ID
+	}, WithClock(clock.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Submit(context.Background(), JobRequest{Origin: "CLEAN", LengthHours: 1, SlackHours: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := New(mkSet(t, crashHorizon), clusters(crashSlots), Config{
+		Policy: sched.FIFO{}, Horizon: crashHorizon,
+		DataDir: dir, Sync: wal.SyncNone,
+	}, WithClock(clock.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.fleet.Jobs(); got != 3 {
+		t.Fatalf("recovered %d jobs, want 3", got)
+	}
+	if rec := re.Recovery(); !rec.Recovered {
+		t.Fatalf("recovery = %+v, want Recovered", rec)
+	}
+}

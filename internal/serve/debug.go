@@ -1,0 +1,30 @@
+package serve
+
+// The operator debug mux: net/http/pprof plus service-supplied debug
+// handlers (/debug/traces), served on a loopback-only port separate
+// from the service API so profiling and trace dumps are never exposed
+// on the public listener.
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds a mux with the standard pprof handlers plus any
+// extra debug routes (pattern → handler, e.g. "/debug/traces"). Nil
+// handlers in extra are skipped so callers can pass optional routes
+// unconditionally.
+func NewDebugMux(extra map[string]http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pat, h := range extra {
+		if h != nil {
+			mux.Handle(pat, h)
+		}
+	}
+	return mux
+}

@@ -1,0 +1,139 @@
+package serve
+
+// Regression coverage for middleware stacking: HTTPTracing.Wrap and
+// HTTPMetrics.Wrap must compose in either order without losing the
+// http.Flusher/Unwrap passthrough (the repl stream's long-poll flushes
+// after every frame) or the matched-route label (tracing swaps the
+// request context, and the mux records the pattern on the copy).
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"carbonshift/internal/metrics"
+	"carbonshift/internal/tracing"
+)
+
+// streamHandler mimics the repl stream source: it needs a working
+// flush after each chunk, both via direct type assertion and via
+// http.ResponseController (which walks Unwrap).
+func streamHandler(t *testing.T, flushed *int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("wrapped writer lost http.Flusher")
+			return
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := w.Write([]byte("frame\n")); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			f.Flush()
+			*flushed++
+		}
+		if err := http.NewResponseController(w).Flush(); err != nil {
+			t.Errorf("ResponseController flush through Unwrap chain: %v", err)
+		}
+	})
+}
+
+func TestMiddlewareStackingBothOrders(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		stack func(tr *HTTPTracing, mx *HTTPMetrics, h http.Handler) http.Handler
+	}{
+		{"tracing-outside-metrics", func(tr *HTTPTracing, mx *HTTPMetrics, h http.Handler) http.Handler {
+			return tr.Wrap(mx.Wrap(h))
+		}},
+		{"metrics-outside-tracing", func(tr *HTTPTracing, mx *HTTPMetrics, h http.Handler) http.Handler {
+			return mx.Wrap(tr.Wrap(h))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			mx := NewHTTPMetrics(reg)
+			tr := tracing.New(tracing.Config{SampleEvery: 1})
+			flushed := 0
+			mux := http.NewServeMux()
+			mux.Handle("GET /v1/repl/stream", streamHandler(t, &flushed))
+			h := tc.stack(NewHTTPTracing(tr, nil), mx, mux)
+
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/repl/stream", nil))
+
+			if flushed != 3 || !rr.Flushed {
+				t.Fatalf("flushes did not reach the recorder: handler=%d recorder=%v", flushed, rr.Flushed)
+			}
+			if got := rr.Body.String(); got != "frame\nframe\nframe\n" {
+				t.Fatalf("body = %q", got)
+			}
+			if rr.Header().Get(tracing.Header) == "" {
+				t.Fatal("response is missing the traceparent header")
+			}
+
+			// The metrics counter must see the matched pattern, not
+			// "unmatched", regardless of which wrapper swapped the
+			// request context.
+			var sb strings.Builder
+			if err := reg.WriteTo(&sb); err != nil {
+				t.Fatal(err)
+			}
+			want := `route="GET /v1/repl/stream",code="200"`
+			if !strings.Contains(sb.String(), want) {
+				t.Fatalf("scrape missing %s:\n%s", want, sb.String())
+			}
+
+			// And the trace root carries the same pattern.
+			dump := tr.Snapshot()
+			if len(dump.Traces) != 1 || dump.Traces[0].Root != "GET /v1/repl/stream" {
+				t.Fatalf("trace dump = %+v, want one trace rooted at the route pattern", dump.Traces)
+			}
+		})
+	}
+}
+
+func TestTracingMiddlewareContinuesRemoteTrace(t *testing.T) {
+	tr := tracing.New(tracing.Config{SampleEvery: -1}) // local sampler off
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	})
+	h := NewHTTPTracing(tr, nil).Wrap(mux)
+
+	remote := tracing.SpanContext{TraceID: tracing.TraceID{0xab}, SpanID: tracing.SpanID{1}, Sampled: true}
+	req := httptest.NewRequest("POST", "/v1/jobs", nil)
+	req.Header.Set(tracing.Header, remote.Traceparent())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+
+	dump := tr.Snapshot()
+	if len(dump.Traces) != 1 || dump.Traces[0].TraceID != remote.TraceID.String() {
+		t.Fatalf("dump = %+v, want the remote trace id", dump.Traces)
+	}
+	echo, ok := tracing.ParseTraceparent(rr.Header().Get(tracing.Header))
+	if !ok || echo.TraceID != remote.TraceID || !echo.Sampled {
+		t.Fatalf("echoed traceparent %q does not continue the remote trace", rr.Header().Get(tracing.Header))
+	}
+}
+
+func TestDebugMuxRoutes(t *testing.T) {
+	tr := tracing.New(tracing.Config{})
+	mux := NewDebugMux(map[string]http.Handler{
+		"/debug/traces": tr.Handler(),
+		"/debug/nil":    nil, // skipped, must not panic
+	})
+	for _, path := range []string{"/debug/pprof/", "/debug/traces"} {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, rr.Code)
+		}
+	}
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/nil", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Errorf("nil extra route: status %d, want 404", rr.Code)
+	}
+}

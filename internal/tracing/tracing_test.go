@@ -1,0 +1,325 @@
+package tracing
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	ctx, sp := tr.StartRoot(context.Background(), "root")
+	sc := FromContext(ctx)
+	if !sc.Valid() || !sc.Sampled {
+		t.Fatalf("StartRoot with SampleEvery=1 must yield a valid sampled context, got %+v", sc)
+	}
+	if sp == nil {
+		t.Fatal("sampled root span must be non-nil")
+	}
+	h := sc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q is not W3C-shaped", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+func TestParseTraceparentRejectsGarbage(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"00-abc",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"01-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01", // unknown version
+		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("b", 16) + "-01", // not hex
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-zz",
+		"00-" + strings.Repeat("a", 32) + "_" + strings.Repeat("b", 16) + "-01", // bad separator
+	} {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) = ok, want rejected", h)
+		}
+	}
+	// Unsampled flag parses as Sampled=false.
+	sc, ok := ParseTraceparent("00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-00")
+	if !ok || sc.Sampled {
+		t.Fatalf("unsampled traceparent: got %+v ok=%v", sc, ok)
+	}
+}
+
+func TestHeadSamplingDeterministic(t *testing.T) {
+	tr := New(Config{SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		_, sp := tr.StartRoot(context.Background(), "r")
+		if sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-4 sampling over 400 roots recorded %d, want exactly 100", sampled)
+	}
+	// Negative disables sampling but still propagates IDs.
+	off := New(Config{SampleEvery: -1})
+	ctx, sp := off.StartRoot(context.Background(), "r")
+	if sp != nil {
+		t.Fatal("SampleEvery<0 must never record")
+	}
+	if sc := FromContext(ctx); !sc.Valid() || sc.Sampled {
+		t.Fatalf("disabled sampling must still mint an unsampled context, got %+v", sc)
+	}
+}
+
+func TestRemoteSamplingDecisionWins(t *testing.T) {
+	tr := New(Config{SampleEvery: -1}) // local sampler says never
+	parent := SpanContext{TraceID: TraceID{1}, SpanID: SpanID{2}, Sampled: true}
+	ctx, sp := tr.StartRemote(context.Background(), parent.Traceparent(), "srv")
+	if sp == nil {
+		t.Fatal("a sampled incoming traceparent must record regardless of the local sampler")
+	}
+	if sc := FromContext(ctx); sc.TraceID != parent.TraceID {
+		t.Fatalf("remote trace id not continued: got %v want %v", sc.TraceID, parent.TraceID)
+	}
+	sp.End()
+	dump := tr.Snapshot()
+	if len(dump.Traces) != 1 || dump.Traces[0].TraceID != parent.TraceID.String() {
+		t.Fatalf("dump = %+v, want one trace under the remote id", dump)
+	}
+	// The remote parent is foreign here, so the span still reads as root.
+	if dump.Traces[0].Root != "srv" {
+		t.Fatalf("root = %q, want srv", dump.Traces[0].Root)
+	}
+
+	// An unsampled incoming header stays unsampled.
+	parent.Sampled = false
+	_, sp = tr.StartRemote(context.Background(), parent.Traceparent(), "srv")
+	if sp != nil {
+		t.Fatal("unsampled traceparent must not record")
+	}
+}
+
+func TestChildSpansAndWaterfall(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	ctx, root := tr.StartRoot(context.Background(), "POST /v1/jobs")
+	cctx, child := StartSpan(ctx, "decode")
+	child.SetAttr(Int("bytes", 42))
+	_, grand := StartSpan(cctx, "inner")
+	grand.End()
+	child.End()
+	root.End()
+
+	dump := tr.Snapshot()
+	if len(dump.Traces) != 1 {
+		t.Fatalf("want 1 trace, got %d", len(dump.Traces))
+	}
+	td := dump.Traces[0]
+	if td.Root != "POST /v1/jobs" || len(td.Spans) != 3 {
+		t.Fatalf("trace = %+v, want root POST /v1/jobs with 3 spans", td)
+	}
+	byName := map[string]SpanDump{}
+	for _, s := range td.Spans {
+		byName[s.Name] = s
+	}
+	rootSpan := byName["POST /v1/jobs"]
+	if rootSpan.ParentID != "" {
+		t.Fatalf("root parent = %q, want none", rootSpan.ParentID)
+	}
+	if byName["decode"].ParentID != rootSpan.SpanID {
+		t.Fatal("decode span must be parented to the root")
+	}
+	if byName["inner"].ParentID != byName["decode"].SpanID {
+		t.Fatal("inner span must be parented to decode")
+	}
+	if len(byName["decode"].Attrs) != 1 || byName["decode"].Attrs[0] != (Attr{Key: "bytes", Value: "42"}) {
+		t.Fatalf("decode attrs = %+v", byName["decode"].Attrs)
+	}
+}
+
+func TestStartSpanWithoutRecordingIsNil(t *testing.T) {
+	// No tracer in the context at all.
+	if _, sp := StartSpan(context.Background(), "x"); sp != nil {
+		t.Fatal("StartSpan without a trace must return nil")
+	}
+	// Unsampled root: children are nil too.
+	tr := New(Config{SampleEvery: -1})
+	ctx, _ := tr.StartRoot(context.Background(), "r")
+	if _, sp := StartSpan(ctx, "x"); sp != nil {
+		t.Fatal("StartSpan under an unsampled root must return nil")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartRoot(context.Background(), "r")
+	if sp != nil || FromContext(ctx).Valid() {
+		t.Fatal("nil tracer must be inert")
+	}
+	_, sp = tr.StartRemote(ctx, "", "r")
+	sp.End()
+	sp.SetName("x")
+	sp.SetAttr(String("k", "v"))
+	if sp.Context().Valid() {
+		t.Fatal("nil span context must be zero")
+	}
+	tr.Record(TraceID{1}, "x", SpanID{}, time.Now(), time.Second)
+	tr.RecordRoot("x", time.Now(), time.Second)
+	tr.RecordSlow(TraceID{}, "x", time.Now(), time.Hour)
+	if tr.Slow(time.Hour) {
+		t.Fatal("nil tracer is never slow")
+	}
+	if d := tr.Snapshot(); len(d.Traces) != 0 {
+		t.Fatal("nil tracer snapshot must be empty")
+	}
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rr.Code != 200 {
+		t.Fatalf("nil tracer handler status %d", rr.Code)
+	}
+}
+
+func TestRingBoundsAndEviction(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 4})
+	var first TraceID
+	for i := 0; i < 10; i++ {
+		_, sp := tr.StartRoot(context.Background(), "r")
+		if i == 0 {
+			first = sp.Context().TraceID
+		}
+		sp.End()
+	}
+	dump := tr.Snapshot()
+	if len(dump.Traces) != 4 {
+		t.Fatalf("ring of 4 holds %d traces", len(dump.Traces))
+	}
+	for _, td := range dump.Traces {
+		if td.TraceID == first.String() {
+			t.Fatal("oldest trace must have been evicted")
+		}
+	}
+}
+
+func TestMaxSpansDropped(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, MaxSpans: 3})
+	ctx, root := tr.StartRoot(context.Background(), "r")
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "child")
+		sp.End()
+	}
+	root.End()
+	td := tr.Snapshot().Traces[0]
+	if len(td.Spans) != 3 || td.DroppedSpans != 3 {
+		t.Fatalf("kept %d spans, dropped %d; want 3 kept / 3 dropped", len(td.Spans), td.DroppedSpans)
+	}
+}
+
+func TestSlowEscapeHatch(t *testing.T) {
+	tr := New(Config{SampleEvery: -1, SlowThreshold: 10 * time.Millisecond})
+	start := time.Now().Add(-20 * time.Millisecond)
+	if tr.RecordSlow(TraceID{}, "GET /v1/stats", start, 5*time.Millisecond) {
+		t.Fatal("a fast operation must not trip the slow hatch")
+	}
+	id := TraceID{7}
+	if !tr.RecordSlow(id, "GET /v1/stats", start, 20*time.Millisecond) {
+		t.Fatal("a slow unsampled operation must be recorded")
+	}
+	dump := tr.Snapshot()
+	if len(dump.Traces) != 1 || dump.Traces[0].TraceID != id.String() || dump.Traces[0].Root != "GET /v1/stats" {
+		t.Fatalf("slow hatch dump = %+v", dump)
+	}
+	// RecordRoot honors the hatch even with sampling off.
+	tr.RecordRoot("wal.group_commit", start, 50*time.Millisecond, Int("batch", 9))
+	if got := len(tr.Snapshot().Traces); got != 2 {
+		t.Fatalf("slow RecordRoot must record; have %d traces", got)
+	}
+	tr.RecordRoot("wal.group_commit", start, time.Millisecond)
+	if got := len(tr.Snapshot().Traces); got != 2 {
+		t.Fatalf("fast unsampled RecordRoot must not record; have %d traces", got)
+	}
+}
+
+func TestCrossProcessJoin(t *testing.T) {
+	// The follower side: spans recorded under a trace ID minted
+	// elsewhere join that trace in this tracer's ring.
+	primary := New(Config{SampleEvery: 1})
+	follower := New(Config{SampleEvery: -1})
+	ctx, root := primary.StartRoot(context.Background(), "POST /v1/jobs")
+	_, child := StartSpan(ctx, "wal.append")
+	child.End()
+	root.End()
+
+	tid := root.Context().TraceID
+	follower.Record(tid, "repl.apply", SpanID{}, time.Now(), 3*time.Millisecond, Int("jobs", 2))
+
+	fd := follower.Snapshot()
+	if len(fd.Traces) != 1 || fd.Traces[0].TraceID != tid.String() {
+		t.Fatalf("follower dump = %+v, want the primary's trace id", fd)
+	}
+	if fd.Traces[0].Root != "repl.apply" {
+		t.Fatalf("follower root = %q", fd.Traces[0].Root)
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	mk := func(name string, dur time.Duration) TraceID {
+		id := newTraceID()
+		tr.Record(id, name, SpanID{}, time.Now(), dur)
+		return id
+	}
+	slow := mk("POST /v1/jobs", 80*time.Millisecond)
+	mk("POST /v1/jobs", 2*time.Millisecond)
+	mk("GET /v1/stats", 90*time.Millisecond)
+
+	get := func(query string) Dump {
+		rr := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces"+query, nil))
+		if rr.Code != 200 {
+			t.Fatalf("GET /debug/traces%s: status %d", query, rr.Code)
+		}
+		var d Dump
+		if err := json.Unmarshal(rr.Body.Bytes(), &d); err != nil {
+			t.Fatalf("response does not parse: %v", err)
+		}
+		return d
+	}
+
+	if d := get(""); len(d.Traces) != 3 {
+		t.Fatalf("unfiltered: %d traces, want 3", len(d.Traces))
+	}
+	if d := get("?route=POST+%2Fv1%2Fjobs"); len(d.Traces) != 2 {
+		t.Fatalf("route filter: %d traces, want 2", len(d.Traces))
+	}
+	if d := get("?route=POST+%2Fv1%2Fjobs&min_ms=50"); len(d.Traces) != 1 || d.Traces[0].TraceID != slow.String() {
+		t.Fatalf("route+min_ms filter: %+v, want only the slow submit", d.Traces)
+	}
+	if d := get("?trace_id=" + slow.String()); len(d.Traces) != 1 || d.Traces[0].TraceID != slow.String() {
+		t.Fatalf("trace_id filter: %+v", d.Traces)
+	}
+	if d := get("?limit=1"); len(d.Traces) != 1 {
+		t.Fatalf("limit: %d traces, want 1", len(d.Traces))
+	}
+}
+
+func TestLoggerStampsIDs(t *testing.T) {
+	var buf strings.Builder
+	base := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := New(Config{SampleEvery: 1})
+	ctx, sp := tr.StartRoot(context.Background(), "r")
+	Logger(ctx, base).Info("hello")
+	sp.End()
+	sc := FromContext(ctx)
+	out := buf.String()
+	if !strings.Contains(out, "trace_id="+sc.TraceID.String()) || !strings.Contains(out, "span_id="+sc.SpanID.String()) {
+		t.Fatalf("log line missing trace/span ids: %q", out)
+	}
+	// No span context: the base logger comes back untouched.
+	if got := Logger(context.Background(), base); got != base {
+		t.Fatal("Logger without a span context must return base unchanged")
+	}
+}

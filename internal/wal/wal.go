@@ -43,6 +43,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"carbonshift/internal/tracing"
 )
 
 // Journal file format constants.
@@ -116,6 +118,13 @@ type Options struct {
 	// batch size, and append counters (see JournalMetrics). Safe to
 	// share across journals — schedd reuses one across generations.
 	Metrics *JournalMetrics
+	// Trace, when non-nil, records each fsync round as a
+	// "wal.group_commit" root trace (head-sampled, always on slow) with
+	// the batch size — the fsync serves many requests at once, so it is
+	// its own trace rather than a child of any one request; the
+	// per-request durability cost shows up as that request's
+	// wal.fsync_wait span instead.
+	Trace *tracing.Tracer
 }
 
 // Journal is an append-only record log. Append, AppendNoWait,
@@ -140,8 +149,10 @@ type Journal struct {
 
 	// metrics instruments the journal (nil = un-metered); obsSeq is the
 	// highest record sequence whose durability has been observed into
-	// the batch-size histogram, shared by both fsync paths.
+	// the batch-size histogram, shared by both fsync paths. trace
+	// records group-commit rounds (nil = untraced).
 	metrics *JournalMetrics
+	trace   *tracing.Tracer
 	obsSeq  uint64
 
 	// SyncBatch state.
@@ -165,6 +176,7 @@ func Create(path string, opts Options) (*Journal, error) {
 		w:       bufio.NewWriterSize(f, 1<<16),
 		mode:    opts.Sync,
 		metrics: opts.Metrics,
+		trace:   opts.Trace,
 	}
 	j.cond = sync.NewCond(&j.mu)
 	j.w.WriteString(journalMagic)
@@ -217,6 +229,8 @@ func (j *Journal) flusher(interval time.Duration) {
 					j.obsSeq = target
 				}
 				j.metrics.observeFsync(start, batch)
+				j.trace.RecordRoot("wal.group_commit", start, time.Since(start),
+					tracing.Int("batch", int(batch)))
 			}
 			j.mu.Unlock()
 		}
@@ -332,6 +346,8 @@ func (j *Journal) flushRoundLocked() {
 			j.obsSeq = target
 		}
 		j.metrics.observeFsync(start, batch)
+		j.trace.RecordRoot("wal.group_commit", start, time.Since(start),
+			tracing.Int("batch", int(batch)))
 	}
 	j.syncing = false
 	j.cond.Broadcast()
