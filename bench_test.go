@@ -559,6 +559,51 @@ func BenchmarkScheddSubmit(b *testing.B) {
 	})
 }
 
+// BenchmarkScheddSubmitBinary is BenchmarkScheddSubmit over the binary
+// batch protocol, still one job per request — isolating the codec swap
+// from the batching win.
+func BenchmarkScheddSubmitBinary(b *testing.B) {
+	benchScheddSubmitN(b, schedd.Config{
+		Policy:  sched.FIFO{},
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+		TraceSampleEvery: 1024,
+	}, 1, true)
+}
+
+// BenchmarkScheddSubmitBatch64 submits 64 jobs per JSON request — the
+// batching win without the codec swap.
+func BenchmarkScheddSubmitBatch64(b *testing.B) {
+	benchScheddSubmitN(b, schedd.Config{
+		Policy:  sched.FIFO{},
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+		TraceSampleEvery: 1024,
+	}, 64, false)
+}
+
+// BenchmarkScheddSubmitBinaryBatch64 is the binary batch fast path: 64
+// jobs per CRC-framed request through the pooled zero-allocation
+// decoder and one admission critical section. The batch protocol's
+// acceptance bar is ≥5× the jobs/s of BenchmarkScheddSubmit.
+func BenchmarkScheddSubmitBinaryBatch64(b *testing.B) {
+	benchScheddSubmitN(b, schedd.Config{
+		Policy:  sched.FIFO{},
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+		TraceSampleEvery: 1024,
+	}, 64, true)
+}
+
+// BenchmarkScheddSubmitBinaryBatch64Journaled adds the write-ahead
+// journal under batched group-commit fsync: the whole 64-job batch
+// shares one admission section and one group-commit append.
+func BenchmarkScheddSubmitBinaryBatch64Journaled(b *testing.B) {
+	benchScheddSubmitN(b, schedd.Config{
+		Policy:  sched.FIFO{},
+		MaxJobs: 1 << 30, MaxQueue: 1 << 30,
+		DataDir: b.TempDir(), SnapshotEvery: 24,
+		Sync: wal.SyncBatch,
+	}, 64, true)
+}
+
 // BenchmarkScheddSubmitJournaled is the durable twin of
 // BenchmarkScheddSubmit: the identical HTTP path with every admission
 // appended to a write-ahead journal under batched group-commit fsync.
@@ -586,6 +631,15 @@ func BenchmarkScheddSubmitNoMetrics(b *testing.B) {
 }
 
 func benchScheddSubmit(b *testing.B, cfg schedd.Config, opts ...schedd.Option) {
+	benchScheddSubmitN(b, cfg, 1, false, opts...)
+}
+
+// benchScheddSubmitN drives the submit path with `batch` jobs per
+// request over either codec, reporting jobs/s so differently-batched
+// variants compare directly. The ≥5× binary-vs-JSON acceptance bar of
+// the batch protocol is jobs/s of BenchmarkScheddSubmitBinaryBatch64
+// over jobs/s of BenchmarkScheddSubmit.
+func benchScheddSubmitN(b *testing.B, cfg schedd.Config, batch int, binary bool, opts ...schedd.Option) {
 	set, cl := schedWorld(b, 24*30)
 	srv, err := schedd.New(set, cl, cfg,
 		append([]schedd.Option{schedd.WithClock(func() time.Time { return set.Start() })}, opts...)...)
@@ -599,18 +653,27 @@ func benchScheddSubmit(b *testing.B, cfg schedd.Config, opts ...schedd.Option) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	req := schedd.JobRequest{
-		Origin: "CLEAN", LengthHours: 4, SlackHours: 48,
-		Interruptible: true, Migratable: true,
+	reqs := make([]schedd.JobRequest, batch)
+	for i := range reqs {
+		reqs[i] = schedd.JobRequest{
+			Origin: "CLEAN", LengthHours: 4, SlackHours: 48,
+			Interruptible: true, Migratable: true,
+		}
+	}
+	submit := client.Submit
+	if binary {
+		submit = client.SubmitBatch
 	}
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Submit(ctx, req); err != nil {
+		if _, err := submit(ctx, reqs...); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // replJournal drives a journaling schedd for `hours` replay hours with

@@ -11,6 +11,7 @@
 //	schedd -addr :9090 -policy carbon-gate &      # the system under test
 //	loadgen -url http://localhost:9090 -jobs 5000 -submitters 8
 //	loadgen -jobs 50000 -batch 100 -rate 0        # full throttle, batched
+//	loadgen -jobs 50000 -batch 100 -binary        # CRC-framed binary batches
 //	loadgen -jobs 20000 -profile bursty           # arrival bursts
 //	loadgen -jobs 10000 -report-every 2s -scrape  # progress + /metrics check
 //
@@ -49,6 +50,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"os/signal"
 	"sort"
@@ -82,6 +84,7 @@ func main() {
 		rate          = flag.Float64("rate", 0, "target submission rate in jobs/sec (0 = unlimited)")
 		submitters    = flag.Int("submitters", 8, "concurrent submitter goroutines")
 		batch         = flag.Int("batch", 1, "jobs per submission request")
+		binaryProto   = flag.Bool("binary", false, "submit over the binary batch protocol (POST /v1/jobs/batch, CRC-framed) instead of JSON")
 		seed          = flag.Uint64("seed", 1, "workload stream seed")
 		dist          = flag.String("dist", "azure", "job-length distribution: equal, azure, google")
 		slack         = flag.Int("slack", 48, "per-job slack in hours")
@@ -231,6 +234,12 @@ func main() {
 			}
 		}()
 	}
+	// The wire protocol is a strategy swap: Submit and SubmitBatch share
+	// a signature and admission semantics, differing only in codec.
+	submit := client.Submit
+	if *binaryProto {
+		submit = client.SubmitBatch
+	}
 	for w := 0; w < *submitters; w++ {
 		wg.Add(1)
 		go func() {
@@ -249,7 +258,7 @@ func main() {
 				if tracer != nil {
 					cctx, sp = tracer.StartRoot(ctx, "loadgen.submit")
 				}
-				ack, err := client.Submit(cctx, chunk...)
+				ack, err := submit(cctx, chunk...)
 				sp.End()
 				elapsed := time.Since(t0)
 				mu.Lock()
@@ -338,7 +347,11 @@ func main() {
 	}
 
 	if *slowest > 0 {
-		if err := printSlowest(ctx, client, *slowest); err != nil {
+		route := "POST /v1/jobs"
+		if *binaryProto {
+			route = "POST /v1/jobs/batch"
+		}
+		if err := printSlowest(ctx, client, *slowest, route); err != nil {
 			fatal(fmt.Errorf("slowest: %w", err))
 		}
 	}
@@ -477,12 +490,12 @@ func scrapeAndAssert(ctx context.Context, client *schedd.Client, submitted int, 
 // printSlowest fetches the server's trace ring, ranks this run's
 // submit traces by duration, and prints the n slowest as span
 // waterfalls — the "p99 is high, show me why" tool. The route filter
-// keeps only POST /v1/jobs roots, so stats polls and scrapes never
-// rank. Ends with a machine-readable trace_slowest_ms= line the CI
-// e2e leg greps.
-func printSlowest(ctx context.Context, client *schedd.Client, n int) error {
+// keeps only this run's submit roots (JSON or binary), so stats polls
+// and scrapes never rank. Ends with a machine-readable
+// trace_slowest_ms= line the CI e2e leg greps.
+func printSlowest(ctx context.Context, client *schedd.Client, n int, route string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		client.Endpoint()+"/debug/traces?route=POST%20/v1/jobs&limit=1000000", nil)
+		client.Endpoint()+"/debug/traces?route="+neturl.QueryEscape(route)+"&limit=1000000", nil)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,13 @@
 //	curl localhost:9090/v1/stats
 //	curl localhost:9090/metrics
 //
+// High-rate submitters can use POST /v1/jobs/batch instead of the JSON
+// route: a CRC-framed binary batch (content type
+// application/x-carbonshift-batch, encoded by the Go client's
+// SubmitBatch or loadgen -binary) admits the whole batch under one
+// admission section and one group-commit journal append, with
+// placements identical to the JSON path.
+//
 // GET /metrics serves the full instrumentation surface in Prometheus
 // text format — scheduling counters, submit/step latency histograms,
 // WAL fsync timings, replication lag — ready to scrape with the config

@@ -112,7 +112,30 @@ func isDialError(err error) bool {
 // DoJSON issues one JSON request against the current endpoint,
 // failing over on connection errors, 5xx responses, and 421 primary
 // redirects. It tries at most two passes over the known endpoints
-// before giving up with the last error.
+// before giving up with the last error. See Do for the retry-safety
+// contract.
+func (e *Endpoints) DoJSON(ctx context.Context, hc *http.Client, method, path string, in any, prefix string, out any) error {
+	var payload []byte
+	var contentType string
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("%s: encoding request: %w", prefix, err)
+		}
+		contentType = "application/json"
+	}
+	return e.Do(ctx, hc, method, path, contentType, payload, prefix,
+		func(statusCode int, status string, body []byte) error {
+			return DecodeResponse(statusCode, status, body, prefix, out)
+		})
+}
+
+// Do is the failover core under DoJSON, generalized over the request
+// and response encodings: payload is sent verbatim (nil = no body)
+// with contentType, and every final response — success or a status the
+// rotation will not retry — goes through decode. Errors other than
+// 421 keep the shared {"error": ...} JSON shape regardless of the
+// request encoding, so decode can defer to DecodeResponse for them.
 //
 // Retry safety: a 421 is always retried (the replica explicitly
 // refused to process it), and GET/HEAD retry on any failure. A
@@ -123,16 +146,9 @@ func isDialError(err error) bool {
 // answered 5xx) is returned to the caller rather than replayed, since
 // the write may already have been applied and a blind retry would
 // double-submit it.
-func (e *Endpoints) DoJSON(ctx context.Context, hc *http.Client, method, path string, in any, prefix string, out any) error {
+func (e *Endpoints) Do(ctx context.Context, hc *http.Client, method, path, contentType string, payload []byte, prefix string, decode func(statusCode int, status string, body []byte) error) error {
 	if hc == nil {
 		hc = http.DefaultClient
-	}
-	var payload []byte
-	if in != nil {
-		var err error
-		if payload, err = json.Marshal(in); err != nil {
-			return fmt.Errorf("%s: encoding request: %w", prefix, err)
-		}
 	}
 	idempotent := method == http.MethodGet || method == http.MethodHead
 	var lastErr error
@@ -143,15 +159,15 @@ func (e *Endpoints) DoJSON(ctx context.Context, hc *http.Client, method, path st
 		}
 		base := e.Current()
 		var body io.Reader
-		if in != nil {
+		if payload != nil {
 			body = bytes.NewReader(payload)
 		}
 		req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 		if err != nil {
 			return fmt.Errorf("%s: building request: %w", prefix, err)
 		}
-		if in != nil {
-			req.Header.Set("Content-Type", "application/json")
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
 		}
 		// Every attempt — first try, 421 redirect, safe replay — carries
 		// the SAME trace context from ctx: a failover must not change
@@ -168,8 +184,14 @@ func (e *Endpoints) DoJSON(ctx context.Context, hc *http.Client, method, path st
 			e.rotateFrom(base)
 			continue
 		}
-		respBody, err := io.ReadAll(io.LimitReader(resp.Body, MaxBody))
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, MaxBody+1))
 		resp.Body.Close()
+		if len(respBody) > MaxBody {
+			// The endpoint answered with more than any valid response can
+			// hold; truncating it would surface as a confusing parse
+			// error, and another replica would answer the same way.
+			return fmt.Errorf("%s: %s: response exceeds the %d-byte limit", prefix, base, MaxBody)
+		}
 		if err != nil {
 			lastErr = fmt.Errorf("%s: reading response: %w", prefix, err)
 			if !idempotent {
@@ -195,11 +217,11 @@ func (e *Endpoints) DoJSON(ctx context.Context, hc *http.Client, method, path st
 			// full), a real answer that a standby cannot improve on.
 			// Writes are never replayed after a 5xx — the server touched
 			// the request, so a retry could double-execute it.
-			lastErr = DecodeResponse(resp.StatusCode, resp.Status, respBody, prefix, out)
+			lastErr = decode(resp.StatusCode, resp.Status, respBody)
 			e.rotateFrom(base)
 			continue
 		default:
-			return DecodeResponse(resp.StatusCode, resp.Status, respBody, prefix, out)
+			return decode(resp.StatusCode, resp.Status, respBody)
 		}
 	}
 	return fmt.Errorf("%s: all endpoints failed: %w", prefix, lastErr)

@@ -36,17 +36,42 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 // when one is present. Every error is prefixed with prefix (the client
 // package's name).
 func DoJSON(hc *http.Client, req *http.Request, prefix string, out any) error {
+	return DoRaw(hc, req, prefix, func(statusCode int, status string, body []byte) error {
+		return DecodeResponse(statusCode, status, body, prefix, out)
+	})
+}
+
+// DoRaw issues req, reads the bounded response body, and hands status
+// plus body to decode — the non-JSON core of DoJSON, used by clients
+// whose 200 responses are binary (schedd's batch-submit ack) while
+// errors stay on the shared {"error": ...} shape.
+func DoRaw(hc *http.Client, req *http.Request, prefix string, decode func(statusCode int, status string, body []byte) error) error {
 	injectTrace(req)
 	resp, err := hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("%s: %w", prefix, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBody))
+	body, err := readBody(resp.Body, prefix)
 	if err != nil {
-		return fmt.Errorf("%s: reading response: %w", prefix, err)
+		return err
 	}
-	return DecodeResponse(resp.StatusCode, resp.Status, body, prefix, out)
+	return decode(resp.StatusCode, resp.Status, body)
+}
+
+// readBody reads a response body up to MaxBody. A body that would
+// exceed the limit is an explicit error — truncating it and letting
+// the JSON decoder fail on the cut would misreport an oversized
+// response as a parse error.
+func readBody(r io.Reader, prefix string) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r, MaxBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("%s: reading response: %w", prefix, err)
+	}
+	if len(body) > MaxBody {
+		return nil, fmt.Errorf("%s: response exceeds the %d-byte limit", prefix, MaxBody)
+	}
+	return body, nil
 }
 
 // injectTrace stamps the request context's span context into the

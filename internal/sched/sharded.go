@@ -63,9 +63,13 @@ type ShardedFleet struct {
 	hour int
 
 	// idMu guards the cross-shard id registry and submission order.
+	// arena lives under it too: allocation is already serialized by the
+	// id registry, so a per-shard arena would buy no parallelism — it
+	// would only fragment the blocks.
 	idMu      sync.Mutex
 	byID      map[int]*sstate
 	order     []*sstate
+	arena     sstateArena
 	submitted atomic.Int64
 
 	// Serial-phase scratch and incrementally-maintained aggregates.
@@ -114,6 +118,26 @@ type sstate struct {
 	emissions  float64
 	waitHours  int
 	migrations int
+}
+
+// sstateArena hands out sstate records carved from fixed-size blocks,
+// so admitting a million jobs costs ~1000 heap objects instead of a
+// million — GC mark work at BenchmarkScaleFleetStep1M scale scans the
+// blocks, not each job. Records are never freed individually: the
+// fleet retains every job for its lifetime anyway (byID/order), so the
+// arena's only reclamation point is fleet teardown (or Unmarshal,
+// which resets it wholesale). Guarded by idMu.
+type sstateArena struct{ free []sstate }
+
+const arenaBlock = 1024
+
+func (a *sstateArena) alloc() *sstate {
+	if len(a.free) == 0 {
+		a.free = make([]sstate, arenaBlock)
+	}
+	st := &a.free[0]
+	a.free = a.free[1:]
+	return st
 }
 
 // fleetShard owns a disjoint set of regions, the jobs currently (or
@@ -301,7 +325,8 @@ func (f *ShardedFleet) submitRLocked(jobs []Job, stampNow bool) (int, error) {
 	}
 	// Past this point nothing can fail: register, then insert per shard.
 	for i, j := range jobs {
-		st := &sstate{
+		st := f.arena.alloc()
+		*st = sstate{
 			Job:     j,
 			seq:     len(f.order),
 			originI: f.regionIdx[j.Origin],

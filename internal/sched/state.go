@@ -492,6 +492,10 @@ func (f *ShardedFleet) Unmarshal(data []byte) error {
 	f.emissionsG = img.emissionsOrdered
 	f.byID = make(map[int]*sstate, len(img.jobs))
 	f.order = make([]*sstate, 0, len(img.jobs))
+	// The restored states displace every prior one; drop the live arena
+	// block (its remaining free records would pin the old image) and
+	// carve the new states from fresh blocks.
+	f.arena = sstateArena{}
 	f.buckets = make(map[int]int)
 	f.completed, f.missedDone, f.overdueOpen, f.ranLast = 0, 0, 0, 0
 	for _, sh := range f.shards {
@@ -500,7 +504,8 @@ func (f *ShardedFleet) Unmarshal(data []byte) error {
 	}
 	for i := range img.jobs {
 		j := &img.jobs[i]
-		st := &sstate{
+		st := f.arena.alloc()
+		*st = sstate{
 			Job:        j.Job,
 			seq:        i,
 			originI:    f.regionIdx[j.Origin],

@@ -1,0 +1,380 @@
+package schedd
+
+// The binary batch-submit protocol (POST /v1/jobs/batch): the
+// zero-allocation fast path next to the JSON route. One request is one
+// frame, reusing the length-prefixed CRC framing idiom of
+// internal/wal records and the internal/repl stream:
+//
+//	"CSBB" | version 1 | payload len uint32 BE | crc32(payload) uint32 BE | payload
+//
+// The payload is a job batch in the spirit of sched's job codec:
+//
+//	count uvarint (>= 1)
+//	per job: flags byte (1 = explicit id, 2 = interruptible,
+//	         4 = migratable)
+//	         [ id zigzag varint, when flag 1 is set ]
+//	         origin len uvarint | origin bytes
+//	         length uvarint | slack uvarint
+//
+// A 200 response is an ack frame with magic "CSBA" and payload
+//
+//	arrival uvarint | count uvarint | ids as zigzag deltas
+//	                                  (first delta is from 0)
+//
+// while every non-200 response keeps the shared JSON {"error": ...}
+// shape, so the failover client's redirect/backpressure handling is
+// protocol-independent. Anything after the frame, a bad magic, an
+// unknown version, or a CRC mismatch is a 400; a body past
+// httpx.MaxBody is a 413 like on the JSON route.
+//
+// Why it is fast: the request is decoded straight out of a pooled read
+// buffer into pooled []sched.Job scratch (origins interned against the
+// cluster table, so no string allocation either), admitted in one
+// admitMu section, journaled as contiguous records under one group
+// commit, and acked from a pooled output buffer. The steady-state
+// handler allocates nothing per request.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"carbonshift/internal/httpx"
+	"carbonshift/internal/sched"
+	"carbonshift/internal/tracing"
+)
+
+// BinaryContentType is the media type of the binary batch-submit
+// protocol on POST /v1/jobs/batch.
+const BinaryContentType = "application/x-carbonshift-batch"
+
+const (
+	binReqMagic = "CSBB"
+	binAckMagic = "CSBA"
+	binVersion  = 1
+	// binHeaderLen: 4 magic + 1 version + 4 length + 4 CRC bytes.
+	binHeaderLen = 13
+)
+
+// Per-job flag bits in the binary job encoding.
+const (
+	binFlagHasID         = 1
+	binFlagInterruptible = 2
+	binFlagMigratable    = 4
+)
+
+// binBatch is the pooled per-request scratch of the binary submit
+// path: the frame payload, the decoded batch, and the ack buffer all
+// live for exactly one request and are recycled.
+type binBatch struct {
+	payload []byte
+	jobs    []sched.Job
+	auto    []bool
+	ids     []int
+	ack     []byte
+}
+
+var binBatchPool = sync.Pool{New: func() any { return new(binBatch) }}
+
+// putBinBatch recycles the scratch unless an outlier request grew it
+// past what steady-state traffic needs — pooling a one-off huge buffer
+// would pin it for the server's lifetime.
+func putBinBatch(b *binBatch) {
+	const maxPooledBytes = 1 << 20
+	const maxPooledJobs = 1 << 14
+	if cap(b.payload) > maxPooledBytes || cap(b.ack) > maxPooledBytes || cap(b.jobs) > maxPooledJobs {
+		return
+	}
+	binBatchPool.Put(b)
+}
+
+// appendBinaryFrame appends one frame: magic, version, and the
+// length/CRC header over the payload that build writes. build receives
+// the buffer positioned after the header and returns it extended; the
+// header is back-filled, so no intermediate payload slice is
+// allocated.
+func appendBinaryFrame(buf []byte, magic string, build func([]byte) []byte) []byte {
+	start := len(buf)
+	buf = append(buf, magic...)
+	buf = append(buf, binVersion)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = build(buf)
+	payload := buf[start+binHeaderLen:]
+	binary.BigEndian.PutUint32(buf[start+5:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[start+9:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// appendBinarySubmit encodes a request frame — the client half of the
+// protocol (see Client.SubmitBatch).
+func appendBinarySubmit(buf []byte, jobs []JobRequest) []byte {
+	return appendBinaryFrame(buf, binReqMagic, func(buf []byte) []byte {
+		buf = binary.AppendUvarint(buf, uint64(len(jobs)))
+		for i := range jobs {
+			jr := &jobs[i]
+			var flags byte
+			if jr.ID != nil {
+				flags |= binFlagHasID
+			}
+			if jr.Interruptible {
+				flags |= binFlagInterruptible
+			}
+			if jr.Migratable {
+				flags |= binFlagMigratable
+			}
+			buf = append(buf, flags)
+			if jr.ID != nil {
+				buf = binary.AppendVarint(buf, int64(*jr.ID))
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(jr.Origin)))
+			buf = append(buf, jr.Origin...)
+			buf = binary.AppendUvarint(buf, uint64(jr.LengthHours))
+			buf = binary.AppendUvarint(buf, uint64(jr.SlackHours))
+		}
+		return buf
+	})
+}
+
+// readBinaryFrame reads one whole frame with the given magic into
+// b.payload (CRC-verified) and rejects trailing bytes, exactly as
+// decodeSubmit rejects trailing data after the JSON value. Errors wrap
+// the reader's, so an *http.MaxBytesError from the body limit survives
+// for the 413 mapping.
+func readBinaryFrame(r io.Reader, magic string, b *binBatch) error {
+	var hdr [binHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("binary submit: short frame header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return fmt.Errorf("binary submit: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != binVersion {
+		return fmt.Errorf("binary submit: unsupported version %d (want %d)", hdr[4], binVersion)
+	}
+	n := binary.BigEndian.Uint32(hdr[5:9])
+	sum := binary.BigEndian.Uint32(hdr[9:13])
+	if n > httpx.MaxBody {
+		// Bounds the allocation below; a frame this size can never fit
+		// under the body limit anyway.
+		return fmt.Errorf("binary submit: %d-byte payload exceeds the %d-byte limit", n, httpx.MaxBody)
+	}
+	if cap(b.payload) < int(n) {
+		b.payload = make([]byte, n)
+	}
+	b.payload = b.payload[:n]
+	if _, err := io.ReadFull(r, b.payload); err != nil {
+		return fmt.Errorf("binary submit: short frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(b.payload) != sum {
+		return fmt.Errorf("binary submit: payload CRC mismatch")
+	}
+	var one [1]byte
+	switch _, err := io.ReadFull(r, one[:]); err {
+	case io.EOF:
+		return nil
+	case nil:
+		return fmt.Errorf("binary submit: trailing data after frame")
+	default:
+		return fmt.Errorf("binary submit: trailing read: %w", err)
+	}
+}
+
+// decodeBinaryJobs decodes b.payload into b.jobs/b.auto, interning
+// origin strings through intern so a known region costs no allocation.
+// b.ids is sized alongside for admit to fill.
+func decodeBinaryJobs(b *binBatch, intern func([]byte) string) error {
+	count, data, err := readUvarint(b.payload)
+	if err != nil {
+		return fmt.Errorf("binary submit: job count: %w", err)
+	}
+	if count == 0 {
+		return fmt.Errorf("binary submit: empty job batch")
+	}
+	// Every job costs at least 3 bytes (flags, origin len, length, slack
+	// overlap at minimum widths), so an absurd count is caught before it
+	// can size the scratch slices.
+	if count > len(data) {
+		return fmt.Errorf("binary submit: job count %d exceeds the %d payload bytes", count, len(data))
+	}
+	if cap(b.jobs) < count {
+		b.jobs = make([]sched.Job, count)
+		b.auto = make([]bool, count)
+		b.ids = make([]int, count)
+	}
+	b.jobs = b.jobs[:count]
+	b.auto = b.auto[:count]
+	b.ids = b.ids[:count]
+	for i := 0; i < count; i++ {
+		if len(data) == 0 {
+			return fmt.Errorf("binary submit: job %d: truncated", i)
+		}
+		flags := data[0]
+		data = data[1:]
+		if flags&^(binFlagHasID|binFlagInterruptible|binFlagMigratable) != 0 {
+			return fmt.Errorf("binary submit: job %d: unknown flags %#x", i, flags)
+		}
+		var id int
+		if flags&binFlagHasID != 0 {
+			v, m := binary.Varint(data)
+			if m <= 0 {
+				return fmt.Errorf("binary submit: job %d: bad id", i)
+			}
+			id = int(v)
+			data = data[m:]
+		}
+		olen, rest, err := readUvarint(data)
+		if err != nil || olen > len(rest) {
+			return fmt.Errorf("binary submit: job %d: bad origin", i)
+		}
+		origin := intern(rest[:olen])
+		data = rest[olen:]
+		length, rest, err := readUvarint(data)
+		if err != nil {
+			return fmt.Errorf("binary submit: job %d: bad length", i)
+		}
+		slack, rest, err := readUvarint(rest)
+		if err != nil {
+			return fmt.Errorf("binary submit: job %d: bad slack", i)
+		}
+		data = rest
+		b.jobs[i] = sched.Job{
+			ID:            id,
+			Origin:        origin,
+			Length:        length,
+			Slack:         slack,
+			Interruptible: flags&binFlagInterruptible != 0,
+			Migratable:    flags&binFlagMigratable != 0,
+		}
+		b.auto[i] = flags&binFlagHasID == 0
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("binary submit: %d trailing payload bytes", len(data))
+	}
+	return nil
+}
+
+// appendBinaryAck encodes the 200 response frame for an admitted
+// batch. Ids are usually consecutive (the auto-assignment case), which
+// the zigzag delta encoding turns into one byte per job.
+func appendBinaryAck(buf []byte, arrival int, ids []int) []byte {
+	return appendBinaryFrame(buf, binAckMagic, func(buf []byte) []byte {
+		buf = binary.AppendUvarint(buf, uint64(arrival))
+		buf = binary.AppendUvarint(buf, uint64(len(ids)))
+		prev := 0
+		for _, id := range ids {
+			buf = binary.AppendVarint(buf, int64(id-prev))
+			prev = id
+		}
+		return buf
+	})
+}
+
+// decodeBinaryAck parses an ack frame into the JSON route's response
+// type — the client half (Client.SubmitBatch).
+func decodeBinaryAck(data []byte) (SubmitResponse, error) {
+	var resp SubmitResponse
+	b := &binBatch{}
+	if err := readBinaryFrame(bytes.NewReader(data), binAckMagic, b); err != nil {
+		return resp, err
+	}
+	arrival, rest, err := readUvarint(b.payload)
+	if err != nil {
+		return resp, fmt.Errorf("binary ack: arrival: %w", err)
+	}
+	count, rest, err := readUvarint(rest)
+	if err != nil {
+		return resp, fmt.Errorf("binary ack: count: %w", err)
+	}
+	if count > len(rest) {
+		return resp, fmt.Errorf("binary ack: id count %d exceeds the %d payload bytes", count, len(rest))
+	}
+	ids := make([]int, count)
+	prev := 0
+	for i := range ids {
+		d, m := binary.Varint(rest)
+		if m <= 0 {
+			return resp, fmt.Errorf("binary ack: bad id delta %d", i)
+		}
+		prev += int(d)
+		ids[i] = prev
+		rest = rest[m:]
+	}
+	if len(rest) != 0 {
+		return resp, fmt.Errorf("binary ack: %d trailing payload bytes", len(rest))
+	}
+	return SubmitResponse{IDs: ids, ArrivalHour: arrival, Accepted: count}, nil
+}
+
+// internOrigin resolves an origin to the cluster table's string when
+// the region is known — a map hit on a string([]byte) key does not
+// allocate — and falls back to a fresh string for unknown origins,
+// which validation rejects anyway.
+func (s *Server) internOrigin(b []byte) string {
+	if o, ok := s.origins[string(b)]; ok {
+		return o
+	}
+	return string(b)
+}
+
+// handleSubmitBinary is POST /v1/jobs/batch: the binary twin of
+// handleSubmit, sharing advance, admit, the durability wait, and the
+// error mapping — only the wire codec differs, so the two routes
+// cannot drift in admission semantics.
+func (s *Server) handleSubmitBinary(w http.ResponseWriter, r *http.Request) {
+	if mx := s.mx; mx != nil {
+		mx.submitBinary.Inc()
+		t0 := time.Now()
+		defer func() { mx.submitSeconds.Observe(time.Since(t0).Seconds()) }()
+	}
+	if s.isFollower() {
+		s.writeMisdirected(w)
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != BinaryContentType {
+		writeJSON(w, http.StatusUnsupportedMediaType,
+			ErrorResponse{Error: fmt.Sprintf("content type %q; want %s", ct, BinaryContentType)})
+		return
+	}
+	ctx := r.Context()
+	b := binBatchPool.Get().(*binBatch)
+	defer putBinBatch(b)
+	_, dsp := tracing.StartSpan(ctx, "schedd.decode")
+	err := readBinaryFrame(http.MaxBytesReader(w, r.Body, httpx.MaxBody), binReqMagic, b)
+	if err == nil {
+		err = decodeBinaryJobs(b, s.internOrigin)
+	}
+	dsp.SetAttr(tracing.Int("jobs", len(b.jobs)))
+	dsp.End()
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	if err := s.advance(ctx); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	arrival, journal, seq, status, err := s.admit(ctx, b.jobs, b.auto, b.ids)
+	if err != nil {
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if journal != nil {
+		_, wsp := tracing.StartSpan(ctx, "wal.fsync_wait")
+		err := journal.WaitSynced(seq)
+		wsp.End()
+		if err != nil {
+			s.failed.Store(&serverFailure{err})
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+	b.ack = appendBinaryAck(b.ack[:0], arrival, b.ids)
+	w.Header().Set("Content-Type", BinaryContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(b.ack)
+}

@@ -84,8 +84,22 @@ func TestOnlineEquivalence(t *testing.T) {
 			t.Fatal("recorded offline fleet differs from sched.Run")
 		}
 
-		for _, shards := range []int{1, 4, 16} {
-			t.Run(fmt.Sprintf("%s/shards=%d", policy.Name(), shards), func(t *testing.T) {
+		// The binary batch protocol must be placement-identical to the
+		// JSON path, so it rides the same sweep: the only difference
+		// between the variants is which client codec carries the jobs.
+		for _, variant := range []struct {
+			shards int
+			binary bool
+		}{
+			{1, false}, {4, false}, {16, false},
+			{1, true}, {16, true},
+		} {
+			shards, binary := variant.shards, variant.binary
+			proto := "json"
+			if binary {
+				proto = "binary"
+			}
+			t.Run(fmt.Sprintf("%s/shards=%d/%s", policy.Name(), shards, proto), func(t *testing.T) {
 				// Online: an HTTP server on a hand-cranked replay clock.
 				// Jobs are POSTed with their original ids exactly when
 				// the replay reaches their arrival hour.
@@ -128,7 +142,11 @@ func TestOnlineEquivalence(t *testing.T) {
 					if len(batch) == 0 {
 						continue
 					}
-					ack, err := client.Submit(ctx, batch...)
+					submit := client.Submit
+					if binary {
+						submit = client.SubmitBatch
+					}
+					ack, err := submit(ctx, batch...)
 					if err != nil {
 						t.Fatal(err)
 					}

@@ -2,6 +2,7 @@ package schedd
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -26,6 +27,9 @@ func FuzzDecodeSubmit(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{"id":null,"origin":"","length_hours":-4}`))
 	f.Add([]byte(`{"jobs":[{"id":2147483647,"origin":"CLEAN","length_hours":9999999}]}`))
+	f.Add([]byte(`{"origin":"CLEAN","length_hours":1} trailing garbage`))
+	f.Add([]byte(`{"origin":"CLEAN","length_hours":1}{"origin":"DIRTY","length_hours":2}`))
+	f.Add([]byte(`{"origin":"CLEAN","length_hours":1}   `))
 
 	srv, err := New(mkSet(f, 48), clusters(4),
 		Config{Policy: sched.FIFO{}, Shards: 2, MaxQueue: 1 << 20},
@@ -45,7 +49,7 @@ func FuzzDecodeSubmit(f *testing.F) {
 		rr := httptest.NewRecorder()
 		handler.ServeHTTP(rr, req)
 		switch rr.Code {
-		case http.StatusOK, http.StatusBadRequest, http.StatusServiceUnavailable:
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusServiceUnavailable:
 		default:
 			t.Fatalf("body %q: unexpected status %d (%s)", data, rr.Code, rr.Body.String())
 		}
@@ -60,6 +64,76 @@ func FuzzDecodeSubmit(f *testing.F) {
 			if ack.Accepted != len(ack.IDs) || ack.Accepted == 0 {
 				t.Fatalf("body %q: inconsistent ack %+v", data, ack)
 			}
+		}
+	})
+}
+
+// FuzzDecodeBinarySubmit is FuzzDecodeSubmit's twin for the binary
+// batch protocol: hostile frames must never panic, the decoder must
+// either error or yield a non-empty batch, and the handler must map
+// every body to a sane status with a decodable response.
+func FuzzDecodeBinarySubmit(f *testing.F) {
+	f.Add(appendBinarySubmit(nil, []JobRequest{{Origin: "CLEAN", LengthHours: 1}}))
+	three := 3
+	f.Add(appendBinarySubmit(nil, []JobRequest{
+		{ID: &three, Origin: "DIRTY", LengthHours: 2, SlackHours: 24, Interruptible: true},
+		{Origin: "CLEAN", LengthHours: 1, Migratable: true},
+	}))
+	empty := appendBinaryFrame(nil, binReqMagic, func(buf []byte) []byte {
+		return binary.AppendUvarint(buf, 0)
+	})
+	f.Add(empty)
+	valid := appendBinarySubmit(nil, []JobRequest{{Origin: "CLEAN", LengthHours: 1}})
+	f.Add(valid[:len(valid)-3])                        // truncated payload
+	f.Add(append(valid[:0:0], append(valid, 0xff)...)) // trailing byte
+	corrupt := append(valid[:0:0], valid...)
+	corrupt[len(corrupt)-1] ^= 0x01 // CRC mismatch
+	f.Add(corrupt)
+	f.Add([]byte("CSBB"))             // bare magic
+	f.Add([]byte("CSWL\x01whatever")) // foreign magic
+	hugeCount := appendBinaryFrame(nil, binReqMagic, func(buf []byte) []byte {
+		return binary.AppendUvarint(buf, 1<<40)
+	})
+	f.Add(hugeCount)
+	f.Add([]byte{})
+
+	srv, err := New(mkSet(f, 48), clusters(4),
+		Config{Policy: sched.FIFO{}, Shards: 2, MaxQueue: 1 << 20},
+		WithClock(func() time.Time { return t0 }))
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := &binBatch{}
+		err := readBinaryFrame(bytes.NewReader(data), binReqMagic, b)
+		if err == nil {
+			err = decodeBinaryJobs(b, srv.internOrigin)
+		}
+		if err == nil && len(b.jobs) == 0 {
+			t.Fatal("binary decode returned no error and no jobs")
+		}
+
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs/batch", bytes.NewReader(data))
+		req.Header.Set("Content-Type", BinaryContentType)
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		switch rr.Code {
+		case http.StatusOK:
+			ack, err := decodeBinaryAck(rr.Body.Bytes())
+			if err != nil {
+				t.Fatalf("frame %q: bad binary ack: %v", data, err)
+			}
+			if ack.Accepted != len(ack.IDs) || ack.Accepted == 0 {
+				t.Fatalf("frame %q: inconsistent ack %+v", data, ack)
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusServiceUnavailable:
+			if !json.Valid(rr.Body.Bytes()) {
+				t.Fatalf("frame %q: non-JSON error body %q", data, rr.Body.String())
+			}
+		default:
+			t.Fatalf("frame %q: unexpected status %d (%s)", data, rr.Code, rr.Body.String())
 		}
 	})
 }

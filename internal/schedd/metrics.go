@@ -46,7 +46,9 @@ type serverMetrics struct {
 	submitSeconds *metrics.Histogram
 	stepSeconds   *metrics.Histogram
 	backpressure  *metrics.CounterVec
-	carbonSaved   *metrics.Gauge // the policy-labeled child
+	submitJSON    *metrics.Counter // schedd_submit_requests_total{proto="json"}
+	submitBinary  *metrics.Counter // schedd_submit_requests_total{proto="binary"}
+	carbonSaved   *metrics.Gauge   // the policy-labeled child
 
 	wal  *wal.JournalMetrics
 	http *serve.HTTPMetrics
@@ -156,13 +158,17 @@ func (s *Server) initMetrics(set *trace.Set) {
 		})
 
 	mx.submitSeconds = r.NewHistogram("schedd_submit_latency_seconds",
-		"POST /v1/jobs handler duration, durability wait included.",
+		"Submit handler duration (JSON and binary routes), durability wait included.",
 		metrics.DefLatencyBuckets)
 	mx.stepSeconds = r.NewHistogram("schedd_step_latency_seconds",
 		"Duration of one live fleet Step (one replay hour).",
 		metrics.DefLatencyBuckets)
 	mx.backpressure = r.NewCounterVec("schedd_backpressure_total",
-		"Submissions rejected with 503, by reason.", "reason")
+		"Submissions rejected under load — 503 for full stores/queues and an exhausted horizon, 413 for oversized bodies — by reason.", "reason")
+	submitProto := r.NewCounterVec("schedd_submit_requests_total",
+		"Submit requests by wire protocol (json = POST /v1/jobs, binary = POST /v1/jobs/batch).", "proto")
+	mx.submitJSON = submitProto.With("json")
+	mx.submitBinary = submitProto.With("binary")
 	mx.carbonSaved = r.NewGaugeVec("schedd_carbon_saved_grams",
 		"Cumulative gCO2eq saved versus running each executed job-hour at the job's origin region.",
 		"policy").With(s.cfg.Policy.Name())
@@ -193,7 +199,8 @@ func (s *Server) stepOnce() error {
 	return err
 }
 
-// countBackpressure records one 503 rejection.
+// countBackpressure records one rejected submission (503, or 413 for
+// the oversize reason).
 func (s *Server) countBackpressure(reason string) {
 	if s.mx != nil {
 		s.mx.backpressure.With(reason).Inc()

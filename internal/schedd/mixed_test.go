@@ -1,0 +1,192 @@
+package schedd
+
+// Mixed-protocol durability equivalence: a workload submitted over an
+// interleaving of the JSON and binary submit routes must be
+// indistinguishable — on disk and in outcome — from the same workload
+// submitted over JSON alone. The admit journal record is written after
+// decoding, so the wire protocol must leave no trace in the journal:
+// the two runs' journals are required to be byte-identical, which is
+// also what makes a binary-submitting primary replicable by any
+// follower. A crash-cut sweep over the mixed run's journal then checks
+// that recovery of binary-submitted work is byte-exact too.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"carbonshift/internal/sched"
+	"carbonshift/internal/wal"
+)
+
+// driveProtocols runs the crash-harness workload against a journaling
+// server, submitting each chunk over the binary batch route when mixed
+// is set and the chunk index is odd (JSON otherwise), and returns the
+// run outcome plus the raw journal bytes. Trace sampling is disabled:
+// sampled submits append their trace id to the admit record, and this
+// test compares journals byte-for-byte across runs whose submit counts
+// would otherwise sample different requests.
+func driveProtocols(t *testing.T, dir string, policy sched.Policy, jobs []sched.Job, mixed bool) (crashRun, []byte) {
+	t.Helper()
+	clock := &hourClock{}
+	var recs []placeRec
+	cfg := crashConfig(policy, dir, 0)
+	cfg.TraceSampleEvery = -1
+	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), cfg,
+		WithClock(clock.now),
+		WithRecorder(func(h, id int, r string) { recs = append(recs, placeRec{h, id, r}) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	chunk := 0
+	next := 0
+	for hour := 0; hour < crashHorizon; hour++ {
+		clock.hour.Store(int64(hour))
+		if _, err := client.Stats(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for next < len(jobs) && jobs[next].Arrival == hour {
+			hi := next + 2
+			if hi > len(jobs) {
+				hi = len(jobs)
+			}
+			for hi > next && jobs[hi-1].Arrival != hour {
+				hi--
+			}
+			var batch []JobRequest
+			for _, j := range jobs[next:hi] {
+				id := j.ID
+				batch = append(batch, JobRequest{
+					ID: &id, Origin: j.Origin, LengthHours: j.Length, SlackHours: j.Slack,
+					Interruptible: j.Interruptible, Migratable: j.Migratable,
+				})
+			}
+			submit := client.Submit
+			if mixed && chunk%2 == 1 {
+				submit = client.SubmitBatch
+			}
+			chunk++
+			ack, err := submit(ctx, batch...)
+			if err != nil {
+				t.Fatalf("hour %d: %v", hour, err)
+			}
+			if ack.ArrivalHour != hour {
+				t.Fatalf("arrival %d, want %d", ack.ArrivalHour, hour)
+			}
+			next = hi
+		}
+	}
+	if next != len(jobs) {
+		t.Fatalf("submitted %d/%d jobs", next, len(jobs))
+	}
+	res, err := srv.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := srv.fleet.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	journal, err := os.ReadFile(latestJournal(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return crashRun{placements: recs, result: res, state: state}, journal
+}
+
+// TestMixedProtocolEquivalence drives the same workload twice — once
+// all-JSON, once alternating JSON and binary chunks — and requires
+// identical placements, Result, serialized state, and a byte-identical
+// journal. It then crash-cuts the mixed run's journal at a sweep of
+// boundary and torn positions and recovers each cut, proving
+// binary-submitted admissions replay and re-drive exactly like
+// JSON-submitted ones.
+func TestMixedProtocolEquivalence(t *testing.T) {
+	jobs := crashJobs(t)
+	policy := sched.SpatioTemporal{Percentile: 40, Window: 48}
+
+	jsonDir, mixedDir := t.TempDir(), t.TempDir()
+	ref, refJournal := driveProtocols(t, jsonDir, policy, jobs, false)
+	got, gotJournal := driveProtocols(t, mixedDir, policy, jobs, true)
+
+	got.recovery = DurabilityStats{} // both runs are uninterrupted
+	assertRunsEqual(t, ref, got, "mixed vs all-JSON")
+	if !bytes.Equal(refJournal, gotJournal) {
+		t.Fatalf("journals differ: all-JSON %d bytes, mixed %d bytes — the wire protocol leaked into the journal",
+			len(refJournal), len(gotJournal))
+	}
+
+	// Crash-cut the mixed journal and recover. recoverAndFinish
+	// re-drives lost jobs over JSON with default trace sampling; that
+	// only perturbs journal bytes, never placements/Result/state, which
+	// is all assertRunsEqual compares.
+	bounds := recordBoundaries(t, latestJournal(t, mixedDir))
+	size := bounds[len(bounds)-1]
+	cutSet := map[int64]bool{
+		0: true, 1: true, size - 1: true, size: true,
+		bounds[len(bounds)/4]: true,
+		bounds[len(bounds)/2]: true, bounds[len(bounds)/2] + 3: true,
+		bounds[3*len(bounds)/4] + 11: true,
+	}
+	for cut := range cutSet {
+		if cut < 0 || cut > size {
+			continue
+		}
+		dir := copyDirWithCut(t, mixedDir, cut)
+		rec := recoverAndFinish(t, dir, policy, jobs, 0)
+		assertRunsEqual(t, ref, rec, fmt.Sprintf("mixed cut at byte %d/%d", cut, size))
+		if !rec.recovery.Recovered {
+			t.Fatalf("cut at %d: boot did not report recovery", cut)
+		}
+	}
+}
+
+// TestMixedProtocolReplication runs a binary-submitting primary with a
+// WAL-streamed follower and checks the follower converges to the
+// primary's exact fleet state — binary admissions replicate because
+// they journal identically to JSON ones.
+func TestMixedProtocolReplication(t *testing.T) {
+	jobs := crashJobs(t)
+	policy := sched.CarbonGate{Percentile: 40, Window: 48}
+
+	primDir := t.TempDir()
+	ref, _ := driveProtocols(t, primDir, policy, jobs, true)
+
+	// Reboot from the mixed-run directory: recovery replays the
+	// journal the binary submits wrote, exactly as a follower streaming
+	// that WAL would.
+	cfg := crashConfig(policy, primDir, 0)
+	cfg.TraceSampleEvery = -1
+	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), cfg, WithClock((&hourClock{}).now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rec := srv.Recovery()
+	if !rec.Recovered || rec.RecoveredJobs != len(jobs) {
+		t.Fatalf("recovery = %+v, want all %d jobs", rec, len(jobs))
+	}
+	state, err := srv.fleet.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, ref.state) {
+		t.Fatal("state restored from the mixed-protocol journal differs from the shut-down state")
+	}
+	if _, err := wal.Replay(latestJournal(t, primDir), func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

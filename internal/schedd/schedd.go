@@ -5,7 +5,8 @@
 // wire, placed by a pluggable carbon-aware policy against the replayed
 // grid, and observable while they run:
 //
-//	POST /v1/jobs          submit one job or a batch
+//	POST /v1/jobs          submit one job or a batch (JSON)
+//	POST /v1/jobs/batch    submit a batch on the binary fast path
 //	GET  /v1/jobs/{id}     status: queued/running/done/missed
 //	GET  /v1/stats         fleet emissions, utilization, miss rate
 //	GET  /metrics          Prometheus text exposition
@@ -157,8 +158,15 @@ type Server struct {
 	// assignment, so the store/queue bounds are exact even under
 	// concurrent submitters. Admission journal records are appended
 	// under it, which makes journal order equal fleet submission order.
+	// inBatch is admit's id-dedup scratch, reused across admissions
+	// (cleared on exit) so the hot path allocates no per-request map.
 	admitMu sync.Mutex
 	nextID  int
+	inBatch map[int]bool
+
+	// origins interns the cluster table's region strings for the binary
+	// decoder (read-only after New).
+	origins map[string]string
 
 	// dur is the journaling state (nil without Config.DataDir);
 	// recovery describes what boot — or a promotion — restored. Both
@@ -235,6 +243,11 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 		now:        time.Now,
 		clusters:   clusters,
 		cfg:        cfg,
+		inBatch:    make(map[int]bool),
+		origins:    make(map[string]string, len(clusters)),
+	}
+	for _, c := range clusters {
+		s.origins[c.Region] = c.Region
 	}
 	for _, o := range opts {
 		o(s)
@@ -417,6 +430,7 @@ type ErrorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleSubmitBinary)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -447,20 +461,49 @@ func (s *Server) Handler() http.Handler {
 
 // decodeSubmit parses the POST /v1/jobs payload — a bare JobRequest or
 // {"jobs": [...]} — into the job batch to admit. It is the fuzzed
-// entry point of the request-parsing path.
+// entry point of the request-parsing path. An explicit empty batch
+// ({"jobs": []}) is rejected rather than misread as a bare zero-valued
+// job, and so is any non-whitespace data trailing the JSON value —
+// json.Decoder stops at the first value, which would otherwise
+// silently accept concatenated or garbage-suffixed bodies.
 func decodeSubmit(r io.Reader) ([]JobRequest, error) {
+	dec := json.NewDecoder(r)
 	var req SubmitRequest
-	if err := json.NewDecoder(r).Decode(&req); err != nil {
+	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("bad request body: %w", err)
 	}
-	if len(req.Jobs) > 0 {
+	if _, err := dec.Token(); err != io.EOF {
+		if err == nil {
+			return nil, errors.New("bad request body: trailing data after JSON value")
+		}
+		return nil, fmt.Errorf("bad request body: trailing data: %w", err)
+	}
+	if req.Jobs != nil {
+		if len(req.Jobs) == 0 {
+			return nil, errors.New("bad request body: empty job batch")
+		}
 		return req.Jobs, nil
 	}
 	return []JobRequest{req.JobRequest}, nil
 }
 
+// writeSubmitError maps a request-decode failure to its status: a body
+// past httpx.MaxBody is backpressure (413, counted under its own
+// reason), everything else is a plain 400.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.countBackpressure("oversize")
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			ErrorResponse{Error: fmt.Sprintf("request body exceeds the %d-byte limit", httpx.MaxBody)})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if mx := s.mx; mx != nil {
+		mx.submitJSON.Inc()
 		t0 := time.Now()
 		defer func() { mx.submitSeconds.Observe(time.Since(t0).Seconds()) }()
 	}
@@ -474,14 +517,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dsp.SetAttr(tracing.Int("jobs", len(batch)))
 	dsp.End()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeSubmitError(w, err)
 		return
 	}
 	if err := s.advance(ctx); err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
-	resp, journal, seq, status, err := s.admit(ctx, batch)
+	jobs := make([]sched.Job, len(batch))
+	auto := make([]bool, len(batch))
+	ids := make([]int, len(batch))
+	for i := range batch {
+		jr := &batch[i]
+		jobs[i] = sched.Job{
+			Origin:        jr.Origin,
+			Length:        jr.LengthHours,
+			Slack:         jr.SlackHours,
+			Interruptible: jr.Interruptible,
+			Migratable:    jr.Migratable,
+		}
+		if jr.ID != nil {
+			jobs[i].ID = *jr.ID
+		} else {
+			auto[i] = true
+		}
+	}
+	arrival, journal, seq, status, err := s.admit(ctx, jobs, auto, ids)
 	if err != nil {
 		writeJSON(w, status, ErrorResponse{Error: err.Error()})
 		return
@@ -500,7 +561,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, SubmitResponse{IDs: ids, ArrivalHour: arrival, Accepted: len(ids)})
 }
 
 // admit is the admission critical section: bound checks, id
@@ -511,7 +572,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // map/list inserts plus an in-memory append); the scalability win of
 // the sharded design is that stepping, lookups, stats — and the
 // journal fsync — never contend with it.
-func (s *Server) admit(ctx context.Context, batch []JobRequest) (resp SubmitResponse, journal *wal.Journal, seq uint64, status int, err error) {
+//
+// jobs carries the decoded batch (protocol-independent: both the JSON
+// and the binary route feed it); auto marks jobs needing an id, which
+// is assigned in place, and ids is filled with the final assignment —
+// caller-provided so the binary path can pass pooled scratch.
+func (s *Server) admit(ctx context.Context, jobs []sched.Job, auto []bool, ids []int) (arrival int, journal *wal.Journal, seq uint64, status int, err error) {
 	ctx, sp := tracing.StartSpan(ctx, "schedd.admit")
 	defer sp.End()
 	if sp != nil {
@@ -522,53 +588,40 @@ func (s *Server) admit(ctx context.Context, batch []JobRequest) (resp SubmitResp
 		s.admitMu.Lock()
 	}
 	defer s.admitMu.Unlock()
-	if s.fleet.Jobs()+len(batch) > s.cfg.MaxJobs {
+	if s.fleet.Jobs()+len(jobs) > s.cfg.MaxJobs {
 		s.countBackpressure("job_store_full")
-		return resp, nil, 0, http.StatusServiceUnavailable, errors.New("job store full")
+		return 0, nil, 0, http.StatusServiceUnavailable, errors.New("job store full")
 	}
-	if s.fleet.Outstanding()+len(batch) > s.cfg.MaxQueue {
+	if s.fleet.Outstanding()+len(jobs) > s.cfg.MaxQueue {
 		s.countBackpressure("queue_full")
-		return resp, nil, 0, http.StatusServiceUnavailable, errors.New("queue full")
+		return 0, nil, 0, http.StatusServiceUnavailable, errors.New("queue full")
 	}
-	jobs := make([]sched.Job, len(batch))
-	ids := make([]int, len(batch))
 	next := s.nextID
-	inBatch := make(map[int]bool, len(batch))
-	for i, jr := range batch {
-		var id int
-		if jr.ID != nil {
-			id = *jr.ID
-		} else {
+	defer clear(s.inBatch)
+	for i := range jobs {
+		if auto[i] {
 			// Skip ids already taken by earlier (possibly explicit)
 			// submissions so auto-assignment can never collide.
 			for {
 				_, taken := s.fleet.Lookup(next)
-				if !taken && !inBatch[next] {
+				if !taken && !s.inBatch[next] {
 					break
 				}
 				next++
 			}
-			id = next
+			jobs[i].ID = next
 			next++
 		}
-		ids[i] = id
-		inBatch[id] = true
-		jobs[i] = sched.Job{
-			ID:            id,
-			Origin:        jr.Origin,
-			Length:        jr.LengthHours,
-			Slack:         jr.SlackHours,
-			Interruptible: jr.Interruptible,
-			Migratable:    jr.Migratable,
-		}
+		ids[i] = jobs[i].ID
+		s.inBatch[jobs[i].ID] = true
 	}
-	arrival, err := s.fleet.SubmitNow(jobs...)
+	arrival, err = s.fleet.SubmitNow(jobs...)
 	if err != nil {
 		if errors.Is(err, sched.ErrHorizonExhausted) {
 			s.countBackpressure("horizon_exhausted")
-			return resp, nil, 0, http.StatusServiceUnavailable, errors.New("replay horizon exhausted")
+			return 0, nil, 0, http.StatusServiceUnavailable, errors.New("replay horizon exhausted")
 		}
-		return resp, nil, 0, http.StatusBadRequest, err
+		return 0, nil, 0, http.StatusBadRequest, err
 	}
 	// Buffer the admission record before acknowledging (SubmitNow
 	// stamped the arrivals into jobs). A journal failure poisons the
@@ -584,10 +637,10 @@ func (s *Server) admit(ctx context.Context, batch []JobRequest) (resp SubmitResp
 	asp.End()
 	if err != nil {
 		s.failed.Store(&serverFailure{err})
-		return resp, nil, 0, http.StatusInternalServerError, err
+		return 0, nil, 0, http.StatusInternalServerError, err
 	}
 	s.nextID = next
-	return SubmitResponse{IDs: ids, ArrivalHour: arrival, Accepted: len(ids)}, journal, seq, http.StatusOK, nil
+	return arrival, journal, seq, http.StatusOK, nil
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -256,8 +256,23 @@ func (j *Journal) Append(payload []byte) error {
 // it before blocking in WaitSynced — that is what lets concurrent
 // callers actually share a group commit.
 func (j *Journal) AppendNoWait(payload []byte) (uint64, error) {
-	if len(payload) > MaxRecord {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
+	return j.AppendBatchNoWait(payload)
+}
+
+// AppendBatchNoWait buffers every payload as its own record under one
+// lock acquisition and returns the sequence number of the last, so a
+// caller appending a logically atomic group of records pays one
+// critical section and covers the whole group with a single
+// WaitSynced. The records land contiguously — no concurrent append can
+// interleave with them.
+func (j *Journal) AppendBatchNoWait(payloads ...[]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, fmt.Errorf("wal: empty append batch")
+	}
+	for _, p := range payloads {
+		if len(p) > MaxRecord {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(p), MaxRecord)
+		}
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -267,22 +282,24 @@ func (j *Journal) AppendNoWait(payload []byte) (uint64, error) {
 	if j.err != nil {
 		return 0, j.err
 	}
-	var hdr [recordHeaderLen]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := j.w.Write(hdr[:]); err != nil {
-		j.err = err
-		return 0, err
+	for _, payload := range payloads {
+		var hdr [recordHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := j.w.Write(hdr[:]); err != nil {
+			j.err = err
+			return 0, err
+		}
+		if _, err := j.w.Write(payload); err != nil {
+			j.err = err
+			return 0, err
+		}
+		j.seq++
+		j.metrics.observeAppend(len(payload))
 	}
-	if _, err := j.w.Write(payload); err != nil {
-		j.err = err
-		return 0, err
-	}
-	j.seq++
 	if j.mode == SyncBatch {
 		j.dirty = true
 	}
-	j.metrics.observeAppend(len(payload))
 	return j.seq, nil
 }
 

@@ -298,6 +298,71 @@ func TestAppendNoWaitSharedCommit(t *testing.T) {
 	}
 }
 
+// TestAppendBatchNoWait: a batch lands as contiguous in-order records,
+// one WaitSynced on the returned (last) sequence covers the whole
+// batch, concurrent batches never interleave, and invalid batches —
+// empty, or containing an oversize record — are rejected whole.
+func TestAppendBatchNoWait(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Create(path, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := j.AppendBatchNoWait(); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := j.AppendBatchNoWait([]byte("ok"), make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("batch with an oversize record accepted")
+	}
+	if got, _ := replayAll(t, path); len(got) != 0 {
+		t.Fatalf("rejected batches left %d records behind", len(got))
+	}
+
+	const batches, per = 16, 5
+	var wg sync.WaitGroup
+	for g := 0; g < batches; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recs := make([][]byte, per)
+			for i := range recs {
+				recs[i] = fmt.Appendf(nil, "g%02d-%d", g, i)
+			}
+			seq, err := j.AppendBatchNoWait(recs...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := j.WaitSynced(seq); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res := replayAll(t, path)
+	if len(got) != batches*per || res.Truncated {
+		t.Fatalf("replayed %d records (truncated=%v), want %d", len(got), res.Truncated, batches*per)
+	}
+	// Each goroutine's batch must be contiguous and in order, whatever
+	// the inter-batch ordering came out as.
+	for i := 0; i < len(got); i += per {
+		var g int
+		if _, err := fmt.Sscanf(string(got[i]), "g%02d-0", &g); err != nil {
+			t.Fatalf("record %d = %q is not a batch head", i, got[i])
+		}
+		for k := 0; k < per; k++ {
+			if want := fmt.Sprintf("g%02d-%d", g, k); string(got[i+k]) != want {
+				t.Fatalf("record %d = %q, want %q (batch interleaved)", i+k, got[i+k], want)
+			}
+		}
+	}
+}
+
 func TestParseSyncMode(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
