@@ -25,10 +25,15 @@
 // The -profile flag selects a scenario shape: steady (the default
 // uniform stream), bursty (traffic arrives in dense bursts separated
 // by idle gaps), diurnal (the dispatch rate swings sinusoidally, a
-// day-night cycle compressed onto the run), and migratable-heavy (a
+// day-night cycle compressed onto the run), migratable-heavy (a
 // flexibility-rich mix — mostly migratable, interruptible, generously
-// slacked jobs — the best case for spatial policies). Profiles adjust
-// only defaults and pacing; explicitly-set mix flags always win.
+// slacked jobs — the best case for spatial policies), and multitenant
+// (a Zipf-shared tenant mix matching examples/tenants/multitenant.json
+// plus one deliberately abusive tenant, driven against a schedd
+// started with -tenants; its 429 rejections and the other tenants'
+// clean per-tenant counters are printed as tenant_*= lines). Profiles
+// adjust only defaults and pacing; explicitly-set mix flags always
+// win.
 //
 // The stream is seeded via internal/rng and jobs carry explicit ids
 // (their stream index plus -id-offset), so two loadgen runs with the
@@ -58,6 +63,7 @@ import (
 	"sync"
 	"time"
 
+	"carbonshift/internal/httpx"
 	"carbonshift/internal/metrics"
 	"carbonshift/internal/regions"
 	"carbonshift/internal/rng"
@@ -176,6 +182,23 @@ func main() {
 			Migratable:    src.Float64() < *migratable,
 		}
 	}
+	// Tenant identity is assigned per chunk, not per job: a batch is
+	// admitted atomically, so a mixed-tenant chunk would let one abusive
+	// tenant's 429 reject innocent tenants' jobs riding in the same
+	// request — exactly the cross-tenant interference the profile exists
+	// to disprove.
+	if prof.tenantFor != nil {
+		for lo, chunk := 0, 0; lo < len(requests); lo, chunk = lo+*batch, chunk+1 {
+			hi := lo + *batch
+			if hi > len(requests) {
+				hi = len(requests)
+			}
+			name := prof.tenantFor(chunk)
+			for i := lo; i < hi; i++ {
+				requests[i].Tenant = name
+			}
+		}
+	}
 
 	// With -slowest, every request carries a sampled traceparent: the
 	// server records each submit into its trace ring, and the post-run
@@ -189,12 +212,14 @@ func main() {
 	// Fan the stream across concurrent submitters. Each request carries
 	// up to -batch jobs; a shared ticker paces the global rate.
 	var (
-		reqCh   = make(chan []schedd.JobRequest, *submitters)
-		mu      sync.Mutex
-		subs    []submission
-		lats    []float64
-		errorsN int
-		wg      sync.WaitGroup
+		reqCh    = make(chan []schedd.JobRequest, *submitters)
+		mu       sync.Mutex
+		subs     []submission
+		lats     []float64
+		errorsN  int
+		acked    = map[string]int{} // per-tenant acknowledged jobs
+		rejected = map[string]int{} // per-tenant jobs rejected with 429
+		wg       sync.WaitGroup
 	)
 	var throttle <-chan time.Time
 	if *rate > 0 {
@@ -262,11 +287,19 @@ func main() {
 				sp.End()
 				elapsed := time.Since(t0)
 				mu.Lock()
-				if err != nil {
-					errorsN++
-				} else {
+				switch {
+				case err == nil:
 					subs = append(subs, submission{ids: ack.IDs, arrival: ack.ArrivalHour})
 					lats = append(lats, elapsed.Seconds()*1000)
+					acked[chunk[0].Tenant] += len(ack.IDs)
+				case httpx.StatusCodeOf(err) == http.StatusTooManyRequests && prof.tenantFor != nil:
+					// Per-tenant quota/rate rejection: for the multitenant
+					// profile this is expected signal (the abusive tenant is
+					// SUPPOSED to be throttled), tallied per tenant instead of
+					// counting as a failed request.
+					rejected[chunk[0].Tenant] += len(chunk)
+				default:
+					errorsN++
 				}
 				mu.Unlock()
 			}
@@ -339,6 +372,33 @@ func main() {
 	fmt.Printf("server           policy=%s hour=%d completed=%d missed=%d queued=%d emissions=%.1fkg util=%.1f%%\n",
 		final.Policy, final.Hour, final.Completed, final.Missed, final.QueueDepth,
 		final.TotalEmissionsG/1000, 100*final.Utilization)
+
+	if prof.tenantFor != nil {
+		// Per-tenant outcome, client-side counters first, then the
+		// server's own per-tenant stats — the machine-readable lines the
+		// CI multitenant leg asserts on (abusive tenant rejected, everyone
+		// else clean).
+		names := map[string]bool{}
+		for n := range acked {
+			names[n] = true
+		}
+		for n := range rejected {
+			names[n] = true
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, n := range sorted {
+			fmt.Printf("tenant_acked_%s=%d\n", n, acked[n])
+			fmt.Printf("tenant_rejected429_%s=%d\n", n, rejected[n])
+		}
+		for _, e := range final.Tenants {
+			fmt.Printf("tenant_server_%s_submitted=%d missed=%d class=%s\n",
+				e.Name, e.Submitted, e.Missed, e.Class)
+		}
+	}
 
 	if *scrape {
 		if err := scrapeAndAssert(ctx, client, submitted, final); err != nil {
@@ -475,6 +535,30 @@ func scrapeAndAssert(ctx context.Context, client *schedd.Client, submitted int, 
 	if !ok {
 		return fmt.Errorf("schedd_replication_lag_hours missing from /metrics")
 	}
+	// On a multi-tenant server, the per-tenant submission gauges must be
+	// present and sum to the stats block's per-tenant total — unlisted
+	// tenants aggregate under tenant="other", so the sums still match.
+	if len(final.Tenants) > 0 {
+		statsSum := 0
+		for _, e := range final.Tenants {
+			statsSum += e.Submitted
+		}
+		metricSum, series := 0.0, 0
+		for k, v := range sc.Samples {
+			if strings.HasPrefix(k, "schedd_tenant_jobs_submitted{") {
+				metricSum += v
+				series++
+			}
+		}
+		if series == 0 {
+			return fmt.Errorf("schedd_tenant_jobs_submitted missing from /metrics despite %d tenants in /v1/stats", len(final.Tenants))
+		}
+		if int(metricSum) != statsSum {
+			return fmt.Errorf("schedd_tenant_jobs_submitted sums to %d but /v1/stats tenants sum to %d", int(metricSum), statsSum)
+		}
+		fmt.Printf("scrape_tenant_submitted_total=%d\n", int(metricSum))
+		fmt.Printf("scrape_tenant_series=%d\n", series)
+	}
 	fmt.Printf("scrape_submitted_total=%d\n", int(total))
 	fmt.Printf("scrape_replication_lag_hours=%d\n", int(lag))
 	if v, ok := sc.Samples[`schedd_backpressure_total{reason="queue_full"}`]; ok {
@@ -561,6 +645,11 @@ type scenarioProfile struct {
 	migratable    float64
 	slackScale    float64
 	delay         func(chunk, totalChunks int) time.Duration
+	// tenantFor, when set, names the tenant for every job in the given
+	// chunk (chunks are single-tenant because batches admit atomically).
+	// Called once per chunk in dispatch order, so stateful closures stay
+	// deterministic.
+	tenantFor func(chunk int) string
 }
 
 func profileByName(name string) (scenarioProfile, error) {
@@ -599,12 +688,41 @@ func profileByName(name string) (scenarioProfile, error) {
 		// The flexibility-rich mix the paper's spatial shifting wants:
 		// almost everything can move and pause, with doubled slack.
 		return scenarioProfile{name: name, interruptible: 0.9, migratable: 0.95, slackScale: 2}, nil
+	case "multitenant":
+		// Zipf-shaped tenant shares (8:4:2:1:1) over the registry in
+		// examples/tenants/multitenant.json, plus "noisy" — a tenant the
+		// registry does NOT declare, so it lands on the catch-all's tight
+		// quota and rate limits. Run against a schedd started with
+		// -tenants: noisy's submissions draw 429s (tenant_rejected429_*
+		// lines prove it) while the declared tenants ride at baseline —
+		// the load-level demonstration of per-tenant isolation.
+		mix := []struct {
+			name  string
+			share int
+		}{{"web", 8}, {"pipeline", 4}, {"research", 2}, {"spot", 1}, {"noisy", 1}}
+		total := 0
+		for _, m := range mix {
+			total += m.share
+		}
+		tenantSrc := rng.New(97)
+		return scenarioProfile{
+			name: name, interruptible: -1, migratable: -1,
+			tenantFor: func(int) string {
+				n := tenantSrc.Intn(total)
+				for _, m := range mix {
+					if n -= m.share; n < 0 {
+						return m.name
+					}
+				}
+				return mix[0].name
+			},
+		}, nil
 	default:
 		return scenarioProfile{}, fmt.Errorf("unknown profile %q (have %s)", name, profileNames())
 	}
 }
 
-func profileNames() string { return "steady, bursty, diurnal, migratable-heavy" }
+func profileNames() string { return "steady, bursty, diurnal, migratable-heavy, multitenant" }
 
 func pickDist(name string) (workload.Distribution, error) {
 	switch name {

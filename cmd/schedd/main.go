@@ -24,6 +24,16 @@
 // in examples/dashboard/; docs/OBSERVABILITY.md documents every
 // family.
 //
+// With -tenants the scheduler is multi-tenant: submissions carry a
+// "tenant" field, admission enforces per-tenant hourly quotas and
+// token-bucket rates (429 Too Many Requests), and slots are granted by
+// weighted-fair queueing over priority classes (interactive, batch,
+// scavenger). /v1/stats grows a per-tenant block and /metrics the
+// schedd_tenant_* families:
+//
+//	schedd -tenants examples/tenants/multitenant.json
+//	curl -X POST localhost:9090/v1/jobs -d '{"origin":"DE","tenant":"web","length_hours":1,"slack_hours":6}'
+//
 // On SIGINT/SIGTERM the HTTP server drains in-flight requests, then the
 // fleet runs forward until every admitted job is resolved, and the
 // final scheduling outcome is printed.
@@ -69,6 +79,7 @@ import (
 	"carbonshift/internal/schedd"
 	"carbonshift/internal/serve"
 	"carbonshift/internal/simgrid"
+	"carbonshift/internal/tenant"
 	"carbonshift/internal/wal"
 )
 
@@ -94,6 +105,7 @@ func main() {
 		advertise   = flag.String("advertise", "", "this server's own public base URL, echoed in /v1/stats and used by operators wiring failover clients")
 		probeEvery  = flag.Duration("probe-interval", 0, "follower: probe the primary's /healthz at this cadence and auto-promote on loss (0 = promote only via POST /v1/repl/promote)")
 		probeFails  = flag.Int("probe-failures", 3, "follower: consecutive failed probes before auto-promotion")
+		tenantsPath = flag.String("tenants", "", "multi-tenant admission config: a JSON file of tenant specs (see examples/tenants/); empty = single-tenant mode. Followers copy the primary's tenant config instead.")
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N requests into /debug/traces (0 = default 16, 1 = every request, negative = never)")
 		traceSlow   = flag.Duration("trace-slow", 0, "always record requests slower than this, sampled or not (0 = default 250ms)")
 		debugAddr   = flag.String("debug-addr", "", "operator debug listener (pprof + /debug/traces); empty = disabled. Bind it to loopback.")
@@ -121,6 +133,7 @@ func main() {
 	// copies the primary's (seed, horizon, clusters) so the two fleets
 	// are provably the same scheduling world.
 	var clusters []sched.Cluster
+	var tenants *tenant.Config
 	horizon := *days * 24
 	worldSeed := *seed
 	if *follow != "" {
@@ -138,8 +151,22 @@ func main() {
 		for _, c := range info.Clusters {
 			clusters = append(clusters, sched.Cluster{Region: c.Region, Slots: c.Slots})
 		}
+		// The tenant registry is part of the scheduling world: the fair
+		// queue's dequeue order depends on it, so a follower copies the
+		// primary's echoed config rather than trusting a local file.
+		if *tenantsPath != "" {
+			log.Warn("-tenants is ignored on a follower; the tenant config is copied from the primary")
+		}
+		if len(info.TenantConfig) > 0 {
+			tenants, err = tenant.NewConfig(info.TenantConfig)
+			if err != nil {
+				log.Error("primary's tenant config does not validate", "err", err)
+				os.Exit(1)
+			}
+		}
 		log.Info("following primary", "primary", *follow, "policy", info.Policy,
-			"regions", len(clusters), "horizon_hours", horizon, "seed", worldSeed)
+			"regions", len(clusters), "horizon_hours", horizon, "seed", worldSeed,
+			"tenants", len(info.TenantConfig))
 	} else {
 		for _, code := range strings.Split(*regionList, ",") {
 			code = strings.TrimSpace(code)
@@ -148,6 +175,19 @@ func main() {
 				os.Exit(2)
 			}
 			clusters = append(clusters, sched.Cluster{Region: code, Slots: *slots})
+		}
+		if *tenantsPath != "" {
+			data, err := os.ReadFile(*tenantsPath)
+			if err != nil {
+				log.Error("reading -tenants file failed", "err", err)
+				os.Exit(2)
+			}
+			if tenants, err = tenant.ParseConfig(data); err != nil {
+				log.Error("bad -tenants config", "file", *tenantsPath, "err", err)
+				os.Exit(2)
+			}
+			log.Info("multi-tenant admission enabled", "file", *tenantsPath,
+				"tenants", strings.Join(tenants.Names(), ","))
 		}
 	}
 
@@ -196,6 +236,7 @@ func main() {
 		SnapshotEvery: *snapEvery,
 		Sync:          sync,
 		Advertise:     *advertise,
+		Tenants:       tenants,
 
 		TraceSampleEvery: *traceSample,
 		TraceSlow:        *traceSlow,

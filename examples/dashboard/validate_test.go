@@ -21,6 +21,7 @@ import (
 	"carbonshift/internal/sched"
 	"carbonshift/internal/schedd"
 	"carbonshift/internal/serve"
+	"carbonshift/internal/tenant"
 	"carbonshift/internal/trace"
 )
 
@@ -44,8 +45,14 @@ func liveFamilies(t *testing.T) map[string]string {
 	clusters := []sched.Cluster{{Region: "CLEAN", Slots: 2}, {Region: "DIRTY", Slots: 2}}
 
 	// A follower (never started) registers the full surface; Promote is
-	// not needed for registration.
-	srv, err := schedd.NewFollower(set, clusters, schedd.Config{Policy: sched.FIFO{}},
+	// not needed for registration. The tenant config makes the
+	// schedd_tenant_* families live, so this doc-drift test covers the
+	// multi-tenant surface too.
+	tenants, err := tenant.NewConfig([]tenant.Spec{{Name: "web"}, {Name: "*"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := schedd.NewFollower(set, clusters, schedd.Config{Policy: sched.FIFO{}, Tenants: tenants},
 		schedd.FollowerConfig{Primary: "http://127.0.0.1:9"})
 	if err != nil {
 		t.Fatal(err)

@@ -34,6 +34,12 @@ func FuzzHTTPXError(f *testing.F) {
 		if err != nil && !strings.HasPrefix(err.Error(), "fuzzclient: ") {
 			t.Fatalf("error missing client prefix: %v", err)
 		}
+		// Every non-200 error is a typed StatusError carrying the code.
+		if code != 200 && err != nil {
+			if got := StatusCodeOf(err); got != code {
+				t.Fatalf("status %d error carries code %d", code, got)
+			}
+		}
 	})
 }
 

@@ -6,6 +6,7 @@ package httpx
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,6 +21,31 @@ const MaxBody = 16 << 20
 // for non-200 responses.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// StatusError is the typed form of every non-200 response error
+// DecodeResponse produces: the HTTP status code plus the message that
+// was already being rendered. Error() strings are unchanged from the
+// untyped era; callers that need to branch on the code — a load
+// generator telling quota 429s from capacity 503s, a client deciding
+// whether to retry — unwrap with errors.As.
+type StatusError struct {
+	// StatusCode is the HTTP status code (e.g. 429, 503).
+	StatusCode int
+	// Message is the fully formatted error text.
+	Message string
+}
+
+func (e *StatusError) Error() string { return e.Message }
+
+// StatusCodeOf returns the HTTP status code carried by err (directly
+// or wrapped), or 0 when err has none.
+func StatusCodeOf(err error) int {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.StatusCode
+	}
+	return 0
 }
 
 // WriteJSON writes v as the JSON response body with the given status.
@@ -93,9 +119,9 @@ func DecodeResponse(statusCode int, status string, body []byte, prefix string, o
 	if statusCode != http.StatusOK {
 		var apiErr errorBody
 		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s: %s: %s", prefix, status, apiErr.Error)
+			return &StatusError{StatusCode: statusCode, Message: fmt.Sprintf("%s: %s: %s", prefix, status, apiErr.Error)}
 		}
-		return fmt.Errorf("%s: unexpected status %s", prefix, status)
+		return &StatusError{StatusCode: statusCode, Message: fmt.Sprintf("%s: unexpected status %s", prefix, status)}
 	}
 	if err := json.Unmarshal(body, out); err != nil {
 		return fmt.Errorf("%s: decoding response: %w", prefix, err)

@@ -1,0 +1,34 @@
+package httpx
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStatusError(t *testing.T) {
+	err := DecodeResponse(429, "429 Too Many Requests", []byte(`{"error":"tenant \"web\": tenant quota exceeded"}`), "schedd", nil)
+	if err == nil {
+		t.Fatal("429 decoded without error")
+	}
+	if got := StatusCodeOf(err); got != 429 {
+		t.Fatalf("StatusCodeOf = %d, want 429", got)
+	}
+	want := `schedd: 429 Too Many Requests: tenant "web": tenant quota exceeded`
+	if err.Error() != want {
+		t.Fatalf("error string changed:\ngot  %q\nwant %q", err.Error(), want)
+	}
+
+	// Codes survive wrapping.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if got := StatusCodeOf(wrapped); got != 429 {
+		t.Fatalf("wrapped StatusCodeOf = %d, want 429", got)
+	}
+
+	// Non-status errors report 0.
+	if got := StatusCodeOf(fmt.Errorf("plain")); got != 0 {
+		t.Fatalf("plain error StatusCodeOf = %d, want 0", got)
+	}
+	if got := StatusCodeOf(nil); got != 0 {
+		t.Fatalf("nil StatusCodeOf = %d, want 0", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"carbonshift/internal/tenant"
 	"carbonshift/internal/trace"
 )
 
@@ -32,16 +33,23 @@ type Fleet struct {
 	slotHoursUsed float64
 	completed     int
 
+	// fq, when non-nil, reorders each hour's policy-eligible list
+	// into weighted-fair (deficit round robin) order and is charged
+	// one unit per executed job-hour. Its pass state is part of the
+	// fleet image.
+	fq *tenant.FairQueue
+
 	// OnPlace, when non-nil, observes every executed job-hour in
 	// deterministic submission order: it is called once per job that
 	// runs during a Step, after the hour's placements are final.
 	OnPlace func(hour, jobID int, region string)
 
 	// OnPlaceDetail, when non-nil, additionally observes the job's
-	// origin region — the hook the metrics layer uses to attribute
-	// carbon saved versus a run-at-origin counterfactual. Fired
-	// immediately after OnPlace, in the same deterministic order.
-	OnPlaceDetail func(hour, jobID int, region, origin string)
+	// origin region and tenant — the hook the metrics layer uses to
+	// attribute carbon (saved versus a run-at-origin counterfactual,
+	// and per tenant). Fired immediately after OnPlace, in the same
+	// deterministic order.
+	OnPlaceDetail func(hour, jobID int, region, origin, tenantName string)
 }
 
 // state is the mutable per-job bookkeeping.
@@ -100,6 +108,12 @@ func NewFleet(set *trace.Set, clusters []Cluster, policy Policy, horizon int) (*
 	sort.Strings(f.regionsList)
 	return f, nil
 }
+
+// SetFairQueue installs the tenant fair-dequeue engine. It must be
+// set before the first Step (and before Unmarshal of an image that
+// carries tenancy state); changing it mid-run would silently diverge
+// placements from a replayed or replicated fleet.
+func (f *Fleet) SetFairQueue(q *tenant.FairQueue) { f.fq = q }
 
 // Hour returns the next hour the fleet will simulate.
 func (f *Fleet) Hour() int { return f.hour }
@@ -238,12 +252,14 @@ func (f *Fleet) Step() error {
 		tick.Eligible = append(tick.Eligible, JobView{
 			ID:              st.ID,
 			Origin:          st.Origin,
+			Tenant:          st.Tenant,
 			Remaining:       st.Length - st.progress,
 			HoursToDeadline: st.Deadline() - hour,
 			Interruptible:   st.Interruptible,
 			Migratable:      st.Migratable,
 		})
 	}
+	tick.Eligible = fairOrder(f.fq, tick.Eligible)
 	for _, p := range f.policy.Plan(tick) {
 		st, ok := f.byID[p.JobID]
 		if !ok {
@@ -286,11 +302,14 @@ func (f *Fleet) Step() error {
 		st.progress++
 		st.emissions += ci(region, hour)
 		f.slotHoursUsed++
+		if f.fq != nil {
+			f.fq.Charge(st.Tenant)
+		}
 		if f.OnPlace != nil {
 			f.OnPlace(hour, st.ID, region)
 		}
 		if f.OnPlaceDetail != nil {
-			f.OnPlaceDetail(hour, st.ID, region, st.Origin)
+			f.OnPlaceDetail(hour, st.ID, region, st.Origin, st.Tenant)
 		}
 		if st.progress == st.Length {
 			st.done = true
@@ -454,4 +473,83 @@ func copySlots(m map[string]int) map[string]int {
 		out[k] = v
 	}
 	return out
+}
+
+// fairOrder applies the fair queue's dequeue permutation to one
+// hour's eligible list (identity when no queue is installed).
+func fairOrder(q *tenant.FairQueue, eligible []JobView) []JobView {
+	if q == nil || len(eligible) < 2 {
+		return eligible
+	}
+	names := make([]string, len(eligible))
+	for i, v := range eligible {
+		names[i] = v.Tenant
+	}
+	perm := q.Order(names)
+	out := make([]JobView, len(eligible))
+	for k, i := range perm {
+		out[k] = eligible[i]
+	}
+	return out
+}
+
+// TenantStat aggregates one tenant's jobs (FleetStats semantics,
+// sliced per tenant, plus executed slot-hours — the fair-share
+// denominator).
+type TenantStat struct {
+	Submitted, Completed, Missed int
+	Running, Queued, Unresolved  int
+	SlotHours                    int
+	Emissions                    float64
+}
+
+func tenantStats(states []*state, hour int) map[string]TenantStat {
+	out := make(map[string]TenantStat)
+	for _, s := range states {
+		name := tenant.Normalize(s.Tenant)
+		ts := out[name]
+		ts.Submitted++
+		ts.SlotHours += s.progress
+		ts.Emissions += s.emissions
+		if s.done {
+			ts.Completed++
+			if s.doneAt > s.Deadline() {
+				ts.Missed++
+			}
+		} else {
+			ts.Unresolved++
+			if s.Deadline() <= hour {
+				ts.Missed++
+			}
+			if s.ranLastHr {
+				ts.Running++
+			} else {
+				ts.Queued++
+			}
+		}
+		out[name] = ts
+	}
+	return out
+}
+
+// TenantStats aggregates the fleet's jobs per (normalized) tenant.
+func (f *Fleet) TenantStats() map[string]TenantStat {
+	return tenantStats(f.states, f.hour)
+}
+
+func tenantArrivals(states []*state, hour int) map[string]int {
+	out := make(map[string]int)
+	for _, s := range states {
+		if s.Arrival == hour {
+			out[tenant.Normalize(s.Tenant)]++
+		}
+	}
+	return out
+}
+
+// TenantArrivals counts jobs per (normalized) tenant that arrived at
+// the given hour — the seed for rebuilding admission-quota windows
+// after crash recovery or follower promotion.
+func (f *Fleet) TenantArrivals(hour int) map[string]int {
+	return tenantArrivals(f.states, hour)
 }

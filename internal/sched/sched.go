@@ -23,6 +23,7 @@ package sched
 import (
 	"fmt"
 
+	"carbonshift/internal/tenant"
 	"carbonshift/internal/trace"
 )
 
@@ -32,6 +33,10 @@ type Job struct {
 	ID int
 	// Origin is the submission region.
 	Origin string
+	// Tenant names the submitting tenant ("" means the default
+	// tenant). It drives fair-share dequeue and per-tenant accounting;
+	// names are bounded and character-restricted (tenant.NameOK).
+	Tenant string
 	// Arrival is the submission hour (trace index).
 	Arrival int
 	// Length is the required run-hours.
@@ -59,6 +64,9 @@ func (j Job) Validate() error {
 	if j.Origin == "" {
 		return fmt.Errorf("sched: job %d has no origin", j.ID)
 	}
+	if !tenant.NameOK(j.Tenant) {
+		return fmt.Errorf("sched: job %d bad tenant name %q", j.ID, j.Tenant)
+	}
 	return nil
 }
 
@@ -74,6 +82,7 @@ type Cluster struct {
 type JobView struct {
 	ID              int
 	Origin          string
+	Tenant          string
 	Remaining       int // run-hours still needed
 	HoursToDeadline int
 	Interruptible   bool
@@ -98,8 +107,9 @@ type Tick struct {
 	// FreeSlots is the remaining capacity per region after forced
 	// placements. Policies must respect it.
 	FreeSlots map[string]int
-	// Eligible lists the jobs the policy may place this hour, in
-	// arrival order.
+	// Eligible lists the jobs the policy may place this hour — in
+	// arrival order, or in weighted-fair order when the fleet has a
+	// tenant FairQueue installed (same-tenant jobs keep arrival order).
 	Eligible []JobView
 }
 

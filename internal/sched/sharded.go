@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"carbonshift/internal/engine"
+	"carbonshift/internal/tenant"
 	"carbonshift/internal/trace"
 )
 
@@ -88,16 +89,22 @@ type ShardedFleet struct {
 	slotHours   float64
 	buckets     map[int]int // deadline hour -> unresolved jobs due then
 
+	// fq mirrors Fleet.fq: the tenant fair-dequeue engine, touched
+	// only in Step's serial sections and under mu during
+	// Marshal/Unmarshal.
+	fq *tenant.FairQueue
+
 	// OnPlace, when non-nil, observes every executed job-hour in
 	// deterministic submission order, exactly as Fleet.OnPlace does.
 	// Set it before the first Step; it must not call back into the
 	// fleet.
 	OnPlace func(hour, jobID int, region string)
 
-	// OnPlaceDetail mirrors Fleet.OnPlaceDetail: the origin-carrying
-	// recorder fired after OnPlace in the serial epilogue, in the same
-	// deterministic order. It must not call back into the fleet.
-	OnPlaceDetail func(hour, jobID int, region, origin string)
+	// OnPlaceDetail mirrors Fleet.OnPlaceDetail: the origin- and
+	// tenant-carrying recorder fired after OnPlace in the serial
+	// epilogue, in the same deterministic order. It must not call back
+	// into the fleet.
+	OnPlaceDetail func(hour, jobID int, region, origin, tenantName string)
 }
 
 // sstate is the sharded fleet's per-job bookkeeping. It mirrors state
@@ -223,6 +230,14 @@ func NewShardedFleet(set *trace.Set, clusters []Cluster, policy Policy, horizon,
 	return f, nil
 }
 
+// SetFairQueue installs the tenant fair-dequeue engine, with the same
+// set-before-first-Step contract as Fleet.SetFairQueue.
+func (f *ShardedFleet) SetFairQueue(q *tenant.FairQueue) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fq = q
+}
+
 // Hour returns the next hour the fleet will simulate.
 func (f *ShardedFleet) Hour() int {
 	f.mu.RLock()
@@ -284,6 +299,26 @@ func (f *ShardedFleet) SubmitNow(jobs ...Job) (int, error) {
 	defer f.mu.RUnlock()
 	if f.hour >= f.horizon {
 		return 0, ErrHorizonExhausted
+	}
+	return f.submitRLocked(jobs, true)
+}
+
+// SubmitNowChecked is SubmitNow with an admission check evaluated
+// under the world read lock, where the arrival hour is frozen: check
+// sees exactly the hour the batch will be stamped with, closing the
+// race between a caller-side quota check and a concurrent Step moving
+// the hour. A check error rejects the whole batch and is returned
+// verbatim.
+func (f *ShardedFleet) SubmitNowChecked(check func(hour int) error, jobs ...Job) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.hour >= f.horizon {
+		return 0, ErrHorizonExhausted
+	}
+	if check != nil {
+		if err := check(f.hour); err != nil {
+			return 0, err
+		}
 	}
 	return f.submitRLocked(jobs, true)
 }
@@ -512,12 +547,14 @@ func (f *ShardedFleet) Step() error {
 		tick.Eligible = append(tick.Eligible, JobView{
 			ID:              st.ID,
 			Origin:          st.Origin,
+			Tenant:          st.Tenant,
 			Remaining:       st.Length - st.progress,
 			HoursToDeadline: st.Deadline() - hour,
 			Interruptible:   st.Interruptible,
 			Migratable:      st.Migratable,
 		})
 	}
+	tick.Eligible = fairOrder(f.fq, tick.Eligible)
 	// No idMu here: Step holds the exclusive world lock, and every
 	// byID writer first takes the shared world lock.
 	for _, p := range f.policy.Plan(tick) {
@@ -600,11 +637,14 @@ func (f *ShardedFleet) Step() error {
 	for _, st := range placed {
 		f.slotHours++
 		f.emissionsG += f.traces[st.regionI].At(hour)
+		if f.fq != nil {
+			f.fq.Charge(st.Tenant)
+		}
 		if f.OnPlace != nil {
 			f.OnPlace(hour, st.ID, st.region)
 		}
 		if f.OnPlaceDetail != nil {
-			f.OnPlaceDetail(hour, st.ID, st.region, st.Origin)
+			f.OnPlaceDetail(hour, st.ID, st.region, st.Origin, st.Tenant)
 		}
 		if st.done {
 			f.completed++
@@ -687,6 +727,61 @@ func (f *ShardedFleet) Stats() FleetStats {
 	}
 	st.Queued = st.Unresolved - st.Running
 	return st
+}
+
+// TenantStats aggregates the fleet's jobs per (normalized) tenant,
+// matching Fleet.TenantStats field for field. One walk over the job
+// store under the read lock — monitoring-path cost, not Step-path.
+func (f *ShardedFleet) TenantStats() map[string]TenantStat {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.idMu.Lock()
+	order := f.order
+	f.idMu.Unlock()
+	out := make(map[string]TenantStat)
+	for _, s := range order {
+		name := tenant.Normalize(s.Tenant)
+		ts := out[name]
+		ts.Submitted++
+		ts.SlotHours += s.progress
+		ts.Emissions += s.emissions
+		if s.done {
+			ts.Completed++
+			if s.doneAt > s.Deadline() {
+				ts.Missed++
+			}
+		} else {
+			ts.Unresolved++
+			if s.Deadline() <= f.hour {
+				ts.Missed++
+			}
+			if s.lastRun >= 0 && s.lastRun == f.hour-1 {
+				ts.Running++
+			} else {
+				ts.Queued++
+			}
+		}
+		out[name] = ts
+	}
+	return out
+}
+
+// TenantArrivals counts jobs per (normalized) tenant that arrived at
+// the given hour — the seed for rebuilding admission-quota windows
+// after crash recovery or follower promotion.
+func (f *ShardedFleet) TenantArrivals(hour int) map[string]int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.idMu.Lock()
+	order := f.order
+	f.idMu.Unlock()
+	out := make(map[string]int)
+	for _, s := range order {
+		if s.Arrival == hour {
+			out[tenant.Normalize(s.Tenant)]++
+		}
+	}
+	return out
 }
 
 // Snapshot aggregates the fleet's outcomes so far into a Result in job

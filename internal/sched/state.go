@@ -8,20 +8,29 @@ package sched
 // image into its write-ahead store so a crashed scheduler can recover
 // to state byte-identical to an uninterrupted run.
 //
-// Format (version 1), all integers varint-encoded (unsigned for values
+// Format (version 2), all integers varint-encoded (unsigned for values
 // that cannot be negative, zigzag otherwise), strings length-prefixed,
 // floats as 8 big-endian IEEE-754 bytes:
 //
-//	magic "CSFS" | version 1 | policy | horizon | hour
+//	magic "CSFS" | version 2 | policy | horizon | hour
 //	| nregions | (region, slots)...        world fingerprint, checked
 //	| slotHours | emissionsOrdered         order-sensitive aggregates
+//	| tenancy fingerprint                  "" when no tenant config
+//	| vtime | npass | (tenant, pass)...    fair-queue state, sorted
 //	| njobs | job...                       submission order
 //	| crc32(everything above)
 //
 // Each job is: id (zigzag) | origin | arrival | length | slack |
-// flags (1 interruptible, 2 migratable, 4 done) | progress |
+// flags (1 interruptible, 2 migratable, 4 done, 8 has-tenant) |
+// tenant (only when flag 8 is set) | progress |
 // regionIdx (zigzag, -1 = never placed) | lastRun (zigzag, -1 = never)
 // | doneAt | waitHours | migrations | emissions.
+//
+// Version 1 is version 2 minus the tenancy section and the has-tenant
+// flag; the decoder still accepts it (pre-tenancy snapshots restore as
+// all-default-tenant fleets), but restoring a v1 image into a fleet
+// with a tenant config installed is refused — the fair queue would
+// reorder placements the snapshot never saw.
 //
 // The encoding is deterministic: the same fleet state always produces
 // the same bytes, which is what lets the crash-recovery tests assert
@@ -33,11 +42,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+
+	"carbonshift/internal/tenant"
 )
 
 const (
 	stateMagic   = "CSFS"
-	stateVersion = 1
+	stateVersion = 2
+	// stateVersionV1 is the pre-tenancy format, still decoded.
+	stateVersionV1 = 1
 )
 
 // Job flag bits in the serialized image.
@@ -45,6 +58,7 @@ const (
 	flagInterruptible = 1 << iota
 	flagMigratable
 	flagDone
+	flagHasTenant
 )
 
 // jobImage is one job's full serialized state.
@@ -76,7 +90,13 @@ type fleetImage struct {
 	// differ in the last float bits).
 	slotHours        float64
 	emissionsOrdered float64
-	jobs             []jobImage
+	// Tenancy section (version 2+): the scheduling-relevant config
+	// fingerprint plus the fair queue's virtual-time state.
+	tenancyFP string
+	fqVtime   int64
+	fqNames   []string
+	fqPasses  []int64
+	jobs      []jobImage
 }
 
 // --- binary writer/reader ---
@@ -184,6 +204,13 @@ func (img *fleetImage) encode() []byte {
 	}
 	e.float(img.slotHours)
 	e.float(img.emissionsOrdered)
+	e.str(img.tenancyFP)
+	e.uvarint(int(img.fqVtime))
+	e.uvarint(len(img.fqNames))
+	for i, name := range img.fqNames {
+		e.str(name)
+		e.uvarint(int(img.fqPasses[i]))
+	}
 	e.uvarint(len(img.jobs))
 	for i := range img.jobs {
 		j := &img.jobs[i]
@@ -202,7 +229,13 @@ func (img *fleetImage) encode() []byte {
 		if j.done {
 			flags |= flagDone
 		}
+		if j.Tenant != "" {
+			flags |= flagHasTenant
+		}
 		e.byte(flags)
+		if j.Tenant != "" {
+			e.str(j.Tenant)
+		}
 		e.uvarint(j.progress)
 		e.zigzag(j.regionI)
 		e.zigzag(j.lastRun)
@@ -226,8 +259,9 @@ func decodeImage(data []byte) (*fleetImage, error) {
 	if string(body[:len(stateMagic)]) != stateMagic {
 		return nil, fmt.Errorf("sched: state decode: bad magic %q", body[:len(stateMagic)])
 	}
-	if v := body[len(stateMagic)]; v != stateVersion {
-		return nil, fmt.Errorf("sched: state decode: unsupported version %d (want %d)", v, stateVersion)
+	ver := body[len(stateMagic)]
+	if ver != stateVersion && ver != stateVersionV1 {
+		return nil, fmt.Errorf("sched: state decode: unsupported version %d (want %d or %d)", ver, stateVersionV1, stateVersion)
 	}
 	d := &stateDec{data: body[len(stateMagic)+1:]}
 	img := &fleetImage{}
@@ -244,6 +278,18 @@ func decodeImage(data []byte) (*fleetImage, error) {
 	}
 	img.slotHours = d.float()
 	img.emissionsOrdered = d.float()
+	if ver >= 2 {
+		img.tenancyFP = d.str()
+		img.fqVtime = int64(d.uvarint())
+		np := d.uvarint()
+		if d.err == nil && np > len(d.data) {
+			d.fail("pass count %d exceeds input", np)
+		}
+		for i := 0; i < np && d.err == nil; i++ {
+			img.fqNames = append(img.fqNames, d.str())
+			img.fqPasses = append(img.fqPasses, int64(d.uvarint()))
+		}
+	}
 	nj := d.uvarint()
 	if d.err == nil && nj > len(d.data) {
 		d.fail("job count %d exceeds input", nj)
@@ -259,6 +305,12 @@ func decodeImage(data []byte) (*fleetImage, error) {
 		j.Interruptible = flags&flagInterruptible != 0
 		j.Migratable = flags&flagMigratable != 0
 		j.done = flags&flagDone != 0
+		if flags&flagHasTenant != 0 {
+			if ver < 2 {
+				d.fail("job %d carries a tenant in a version-1 image", j.ID)
+			}
+			j.Tenant = d.str()
+		}
 		j.progress = d.uvarint()
 		j.regionI = d.zigzag()
 		j.lastRun = d.zigzag()
@@ -278,9 +330,14 @@ func decodeImage(data []byte) (*fleetImage, error) {
 }
 
 // checkWorld verifies the image was taken from the same scheduling
-// world as the restoring fleet: policy, horizon, and the exact region
-// and slot configuration.
-func (img *fleetImage) checkWorld(policy string, horizon int, regions []string, slots map[string]int) error {
+// world as the restoring fleet: policy, horizon, the exact region and
+// slot configuration, and the tenancy fingerprint — a snapshot taken
+// under one fair-share configuration restored into another would
+// silently diverge placements.
+func (img *fleetImage) checkWorld(policy string, horizon int, regions []string, slots map[string]int, tenancyFP string) error {
+	if img.tenancyFP != tenancyFP {
+		return fmt.Errorf("sched: state restore: snapshot tenancy config %q, fleet has %q", img.tenancyFP, tenancyFP)
+	}
 	if img.policy != policy {
 		return fmt.Errorf("sched: state restore: snapshot policy %q, fleet runs %q", img.policy, policy)
 	}
@@ -329,6 +386,30 @@ func (img *fleetImage) checkJob(j *jobImage, seen map[int]bool) error {
 	return nil
 }
 
+// checkFQ validates the image's fair-queue section before any fleet
+// mutation, so the later Restore into the live queue cannot fail
+// half-applied.
+func (img *fleetImage) checkFQ(hasQueue bool) error {
+	if !hasQueue && (len(img.fqNames) > 0 || img.fqVtime != 0) {
+		return fmt.Errorf("sched: state restore: snapshot carries fair-queue state but the fleet has no fair queue")
+	}
+	if len(img.fqNames) != len(img.fqPasses) {
+		return fmt.Errorf("sched: state restore: %d fair-queue names, %d passes", len(img.fqNames), len(img.fqPasses))
+	}
+	if img.fqVtime < 0 {
+		return fmt.Errorf("sched: state restore: negative fair-queue vtime %d", img.fqVtime)
+	}
+	for i, name := range img.fqNames {
+		if name == "" || !tenant.NameOK(name) {
+			return fmt.Errorf("sched: state restore: bad fair-queue tenant %q", name)
+		}
+		if img.fqPasses[i] < 0 {
+			return fmt.Errorf("sched: state restore: tenant %q negative pass %d", name, img.fqPasses[i])
+		}
+	}
+	return nil
+}
+
 func regionIndex(regions []string, region string) int {
 	for i, r := range regions {
 		if r == region {
@@ -351,8 +432,10 @@ func (f *Fleet) Marshal() ([]byte, error) {
 		hour:      f.hour,
 		regions:   f.regionsList,
 		slotHours: f.slotHoursUsed,
+		tenancyFP: f.fq.Fingerprint(),
 		jobs:      make([]jobImage, 0, len(f.states)),
 	}
+	img.fqVtime, img.fqNames, img.fqPasses = f.fq.Snapshot()
 	for _, r := range f.regionsList {
 		img.slots = append(img.slots, f.slots[r])
 	}
@@ -387,12 +470,20 @@ func (f *Fleet) Unmarshal(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := img.checkWorld(f.policy.Name(), f.horizon, f.regionsList, f.slots); err != nil {
+	if err := img.checkWorld(f.policy.Name(), f.horizon, f.regionsList, f.slots, f.fq.Fingerprint()); err != nil {
+		return err
+	}
+	if err := img.checkFQ(f.fq != nil); err != nil {
 		return err
 	}
 	seen := make(map[int]bool, len(img.jobs))
 	for i := range img.jobs {
 		if err := img.checkJob(&img.jobs[i], seen); err != nil {
+			return err
+		}
+	}
+	if f.fq != nil {
+		if err := f.fq.Restore(img.fqVtime, img.fqNames, img.fqPasses); err != nil {
 			return err
 		}
 	}
@@ -444,8 +535,10 @@ func (f *ShardedFleet) Marshal() ([]byte, error) {
 		slots:            f.slotsByIdx,
 		slotHours:        f.slotHours,
 		emissionsOrdered: f.emissionsG,
+		tenancyFP:        f.fq.Fingerprint(),
 		jobs:             make([]jobImage, 0, len(order)),
 	}
+	img.fqVtime, img.fqNames, img.fqPasses = f.fq.Snapshot()
 	for _, st := range order {
 		img.jobs = append(img.jobs, jobImage{
 			Job:        st.Job,
@@ -473,9 +566,6 @@ func (f *ShardedFleet) Unmarshal(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := img.checkWorld(f.policy.Name(), f.horizon, f.regionsList, f.slots); err != nil {
-		return err
-	}
 	seen := make(map[int]bool, len(img.jobs))
 	for i := range img.jobs {
 		if err := img.checkJob(&img.jobs[i], seen); err != nil {
@@ -484,6 +574,17 @@ func (f *ShardedFleet) Unmarshal(data []byte) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := img.checkWorld(f.policy.Name(), f.horizon, f.regionsList, f.slots, f.fq.Fingerprint()); err != nil {
+		return err
+	}
+	if err := img.checkFQ(f.fq != nil); err != nil {
+		return err
+	}
+	if f.fq != nil {
+		if err := f.fq.Restore(img.fqVtime, img.fqNames, img.fqPasses); err != nil {
+			return err
+		}
+	}
 	f.idMu.Lock()
 	defer f.idMu.Unlock()
 
@@ -562,8 +663,11 @@ func (f *ShardedFleet) Unmarshal(data []byte) error {
 
 // EncodeJobs appends a deterministic binary encoding of the job batch
 // to buf: count, then per job id (zigzag) | origin | arrival | length
-// | slack | flags. It is the payload format internal/schedd journals
-// on admission; DecodeJobs reverses it.
+// | slack | flags | tenant (only when flag 8 is set). It is the
+// payload format internal/schedd journals on admission; DecodeJobs
+// reverses it. Tenant-free batches encode byte-identically to the
+// pre-tenancy format, so old journals replay unchanged and new
+// journals without tenants stay readable by the old decoder.
 func EncodeJobs(buf []byte, jobs []Job) []byte {
 	e := &stateEnc{buf: buf}
 	e.uvarint(len(jobs))
@@ -580,7 +684,13 @@ func EncodeJobs(buf []byte, jobs []Job) []byte {
 		if j.Migratable {
 			flags |= flagMigratable
 		}
+		if j.Tenant != "" {
+			flags |= flagHasTenant
+		}
 		e.byte(flags)
+		if j.Tenant != "" {
+			e.str(j.Tenant)
+		}
 	}
 	return e.buf
 }
@@ -604,6 +714,9 @@ func DecodeJobs(data []byte) (jobs []Job, rest []byte, err error) {
 		flags := d.byte()
 		j.Interruptible = flags&flagInterruptible != 0
 		j.Migratable = flags&flagMigratable != 0
+		if flags&flagHasTenant != 0 {
+			j.Tenant = d.str()
+		}
 		jobs = append(jobs, j)
 	}
 	if d.err != nil {

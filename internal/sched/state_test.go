@@ -7,7 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"carbonshift/internal/tenant"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -22,6 +25,29 @@ func stateJobs() []Job {
 		{ID: 5, Origin: "DIRTY", Arrival: 1, Length: 1, Slack: 2, Migratable: true},
 		{ID: 9, Origin: "CLEAN", Arrival: 30, Length: 3, Slack: 12, Interruptible: true, Migratable: true},
 	}
+}
+
+// stateJobsTenants is stateJobs with tenant tags: two named tenants of
+// different classes plus untagged (default-tenant) jobs.
+func stateJobsTenants() []Job {
+	jobs := stateJobs()
+	jobs[0].Tenant = "web"
+	jobs[2].Tenant = "spot"
+	jobs[3].Tenant = "web"
+	return jobs
+}
+
+// goldenTenantConfig is the fixed tenancy world the v2 golden pins.
+func goldenTenantConfig(t *testing.T) *tenant.Config {
+	t.Helper()
+	cfg, err := tenant.NewConfig([]tenant.Spec{
+		{Name: "web", Class: tenant.Interactive},
+		{Name: "spot", Class: tenant.Scavenger},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
 }
 
 // TestStateRoundTripMidRun: marshal a fleet mid-run, restore into a
@@ -220,6 +246,21 @@ func TestEncodeDecodeJobs(t *testing.T) {
 		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, jobs)
 	}
 
+	// Tenant-tagged batches round-trip, and a tenant-free batch is
+	// byte-identical to the pre-tenancy encoding (same bytes whether
+	// the field exists or not — old journals replay unchanged).
+	tagged := stateJobsTenants()
+	gotTagged, rest, err := DecodeJobs(EncodeJobs(nil, tagged))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("tagged round trip: err=%v rest=%d", err, len(rest))
+	}
+	if !reflect.DeepEqual(gotTagged, tagged) {
+		t.Fatalf("tagged round trip:\ngot  %+v\nwant %+v", gotTagged, tagged)
+	}
+	if !bytes.Equal(EncodeJobs(nil, jobs), buf) {
+		t.Fatal("encoding is not deterministic")
+	}
+
 	// A suffix passes through untouched.
 	withTail := append(EncodeJobs(nil, jobs[:2]), 0xAA, 0xBB)
 	_, rest, err = DecodeJobs(withTail)
@@ -237,8 +278,10 @@ func TestEncodeDecodeJobs(t *testing.T) {
 }
 
 // TestStateGolden pins the serialized byte layout (magic, version,
-// field order, CRC). A deliberate format change must bump stateVersion
-// and regenerate with:
+// field order, CRC) of the current (version 2) format, over a
+// tenant-tagged world with a fair queue installed so the tenancy
+// section and has-tenant job flag are exercised. A deliberate format
+// change must bump stateVersion and regenerate with:
 //
 //	go test ./internal/sched -run TestStateGolden -update
 func TestStateGolden(t *testing.T) {
@@ -248,7 +291,8 @@ func TestStateGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Submit(stateJobs()...); err != nil {
+	f.SetFairQueue(tenant.NewFairQueue(goldenTenantConfig(t)))
+	if err := f.Submit(stateJobsTenants()...); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
@@ -260,9 +304,9 @@ func TestStateGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := hex.EncodeToString(img) + "\n" + hex.EncodeToString(EncodeJobs(nil, stateJobs())) + "\n"
+	got := hex.EncodeToString(img) + "\n" + hex.EncodeToString(EncodeJobs(nil, stateJobsTenants())) + "\n"
 
-	golden := filepath.Join("testdata", "fleet_state_v1.golden")
+	golden := filepath.Join("testdata", "fleet_state_v2.golden")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -278,5 +322,87 @@ func TestStateGolden(t *testing.T) {
 	if got != string(want) {
 		t.Fatalf("fleet state encoding drifted from %s:\ngot:\n%swant:\n%s(field order, varint widths, or CRC changed — bump stateVersion and regenerate with -update)",
 			golden, got, want)
+	}
+}
+
+// TestStateDecodeV1Golden proves the pre-tenancy (version 1) format
+// still decodes: fleet_state_v1.golden is a frozen fixture from before
+// the tenancy sections existed — never regenerated — and must restore
+// into a tenant-free fleet whose continued run re-serializes cleanly
+// as version 2.
+func TestStateDecodeV1Golden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "fleet_state_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("fixture has %d lines, want 2", len(lines))
+	}
+	img, err := hex.DecodeString(lines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := hex.DecodeString(lines[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fixture was taken from this exact world after 6 steps.
+	const horizon = 48
+	set := mkSet(t, horizon)
+	f, err := NewShardedFleet(set, clusters(3), GreenestFirst{}, horizon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unmarshal(img); err != nil {
+		t.Fatalf("v1 image rejected: %v", err)
+	}
+	if f.Hour() != 6 {
+		t.Fatalf("restored hour %d, want 6", f.Hour())
+	}
+	for _, j := range stateJobs() {
+		info, ok := f.Lookup(j.ID)
+		if !ok {
+			t.Fatalf("job %d missing after v1 restore", j.ID)
+		}
+		if info.Tenant != "" {
+			t.Fatalf("job %d gained tenant %q from a v1 image", j.ID, info.Tenant)
+		}
+	}
+	// Re-marshal upgrades to version 2 and round-trips.
+	up, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up[len(stateMagic)] != stateVersion {
+		t.Fatalf("re-marshal wrote version %d, want %d", up[len(stateMagic)], stateVersion)
+	}
+	g, err := NewShardedFleet(set, clusters(3), GreenestFirst{}, horizon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Unmarshal(up); err != nil {
+		t.Fatalf("upgraded image rejected: %v", err)
+	}
+
+	// A v1 image must be refused by a fleet with a tenant config: its
+	// fair queue would reorder placements the snapshot never saw.
+	tf, err := NewShardedFleet(set, clusters(3), GreenestFirst{}, horizon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf.SetFairQueue(tenant.NewFairQueue(goldenTenantConfig(t)))
+	if err := tf.Unmarshal(img); err == nil {
+		t.Fatal("v1 image restored into a tenant-configured fleet")
+	}
+
+	// The v1 job-batch line decodes tenant-free.
+	jobs, rest, err := DecodeJobs(batch)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("v1 batch: err=%v rest=%d", err, len(rest))
+	}
+	if !reflect.DeepEqual(jobs, stateJobs()) {
+		t.Fatalf("v1 batch decoded to %+v", jobs)
 	}
 }

@@ -5,16 +5,23 @@ package schedd
 // frame, reusing the length-prefixed CRC framing idiom of
 // internal/wal records and the internal/repl stream:
 //
-//	"CSBB" | version 1 | payload len uint32 BE | crc32(payload) uint32 BE | payload
+//	"CSBB" | version | payload len uint32 BE | crc32(payload) uint32 BE | payload
 //
 // The payload is a job batch in the spirit of sched's job codec:
 //
 //	count uvarint (>= 1)
 //	per job: flags byte (1 = explicit id, 2 = interruptible,
-//	         4 = migratable)
+//	         4 = migratable, 8 = has tenant — version 2 only)
 //	         [ id zigzag varint, when flag 1 is set ]
 //	         origin len uvarint | origin bytes
 //	         length uvarint | slack uvarint
+//	         [ tenant len uvarint | tenant bytes, when flag 8 is set ]
+//
+// Version 1 is the pre-tenancy format; version 2 adds the tenant flag
+// and trailer. The server accepts both, and the client emits version 2
+// only when a batch actually names a tenant — so tenant-free traffic
+// stays byte-identical to version 1 and keeps working against older
+// servers. Flag 8 in a version-1 frame is an unknown-flag 400.
 //
 // A 200 response is an ack frame with magic "CSBA" and payload
 //
@@ -56,16 +63,22 @@ const BinaryContentType = "application/x-carbonshift-batch"
 const (
 	binReqMagic = "CSBB"
 	binAckMagic = "CSBA"
-	binVersion  = 1
+	// binVersion is the pre-tenancy frame format; binVersionTenant adds
+	// the per-job tenant flag and trailer. Acks are always binVersion —
+	// they carry no tenant content.
+	binVersion       = 1
+	binVersionTenant = 2
 	// binHeaderLen: 4 magic + 1 version + 4 length + 4 CRC bytes.
 	binHeaderLen = 13
 )
 
-// Per-job flag bits in the binary job encoding.
+// Per-job flag bits in the binary job encoding. binFlagHasTenant is
+// valid only in version-2 frames.
 const (
 	binFlagHasID         = 1
 	binFlagInterruptible = 2
 	binFlagMigratable    = 4
+	binFlagHasTenant     = 8
 )
 
 // binBatch is the pooled per-request scratch of the binary submit
@@ -73,6 +86,7 @@ const (
 // live for exactly one request and are recycled.
 type binBatch struct {
 	payload []byte
+	ver     byte // frame version readBinaryFrame accepted
 	jobs    []sched.Job
 	auto    []bool
 	ids     []int
@@ -98,10 +112,10 @@ func putBinBatch(b *binBatch) {
 // the buffer positioned after the header and returns it extended; the
 // header is back-filled, so no intermediate payload slice is
 // allocated.
-func appendBinaryFrame(buf []byte, magic string, build func([]byte) []byte) []byte {
+func appendBinaryFrame(buf []byte, magic string, version byte, build func([]byte) []byte) []byte {
 	start := len(buf)
 	buf = append(buf, magic...)
-	buf = append(buf, binVersion)
+	buf = append(buf, version)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
 	buf = build(buf)
 	payload := buf[start+binHeaderLen:]
@@ -111,9 +125,18 @@ func appendBinaryFrame(buf []byte, magic string, build func([]byte) []byte) []by
 }
 
 // appendBinarySubmit encodes a request frame — the client half of the
-// protocol (see Client.SubmitBatch).
+// protocol (see Client.SubmitBatch). A batch that names no tenant is
+// emitted as version 1, byte-identical to the pre-tenancy encoding, so
+// it still works against servers that predate version 2.
 func appendBinarySubmit(buf []byte, jobs []JobRequest) []byte {
-	return appendBinaryFrame(buf, binReqMagic, func(buf []byte) []byte {
+	version := byte(binVersion)
+	for i := range jobs {
+		if jobs[i].Tenant != "" {
+			version = binVersionTenant
+			break
+		}
+	}
+	return appendBinaryFrame(buf, binReqMagic, version, func(buf []byte) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(jobs)))
 		for i := range jobs {
 			jr := &jobs[i]
@@ -127,6 +150,9 @@ func appendBinarySubmit(buf []byte, jobs []JobRequest) []byte {
 			if jr.Migratable {
 				flags |= binFlagMigratable
 			}
+			if jr.Tenant != "" {
+				flags |= binFlagHasTenant
+			}
 			buf = append(buf, flags)
 			if jr.ID != nil {
 				buf = binary.AppendVarint(buf, int64(*jr.ID))
@@ -135,6 +161,10 @@ func appendBinarySubmit(buf []byte, jobs []JobRequest) []byte {
 			buf = append(buf, jr.Origin...)
 			buf = binary.AppendUvarint(buf, uint64(jr.LengthHours))
 			buf = binary.AppendUvarint(buf, uint64(jr.SlackHours))
+			if jr.Tenant != "" {
+				buf = binary.AppendUvarint(buf, uint64(len(jr.Tenant)))
+				buf = append(buf, jr.Tenant...)
+			}
 		}
 		return buf
 	})
@@ -153,9 +183,10 @@ func readBinaryFrame(r io.Reader, magic string, b *binBatch) error {
 	if string(hdr[:4]) != magic {
 		return fmt.Errorf("binary submit: bad magic %q", hdr[:4])
 	}
-	if hdr[4] != binVersion {
-		return fmt.Errorf("binary submit: unsupported version %d (want %d)", hdr[4], binVersion)
+	if hdr[4] != binVersion && hdr[4] != binVersionTenant {
+		return fmt.Errorf("binary submit: unsupported version %d (want %d or %d)", hdr[4], binVersion, binVersionTenant)
 	}
+	b.ver = hdr[4]
 	n := binary.BigEndian.Uint32(hdr[5:9])
 	sum := binary.BigEndian.Uint32(hdr[9:13])
 	if n > httpx.MaxBody {
@@ -185,9 +216,12 @@ func readBinaryFrame(r io.Reader, magic string, b *binBatch) error {
 }
 
 // decodeBinaryJobs decodes b.payload into b.jobs/b.auto, interning
-// origin strings through intern so a known region costs no allocation.
-// b.ids is sized alongside for admit to fill.
-func decodeBinaryJobs(b *binBatch, intern func([]byte) string) error {
+// origin strings through intern (and tenant names through
+// internTenant) so a known region or configured tenant costs no
+// allocation. b.ids is sized alongside for admit to fill. The tenant
+// flag is honored only for version-2 frames; in a version-1 frame it
+// is an unknown flag.
+func decodeBinaryJobs(b *binBatch, intern, internTenant func([]byte) string) error {
 	count, data, err := readUvarint(b.payload)
 	if err != nil {
 		return fmt.Errorf("binary submit: job count: %w", err)
@@ -215,7 +249,11 @@ func decodeBinaryJobs(b *binBatch, intern func([]byte) string) error {
 		}
 		flags := data[0]
 		data = data[1:]
-		if flags&^(binFlagHasID|binFlagInterruptible|binFlagMigratable) != 0 {
+		allowed := byte(binFlagHasID | binFlagInterruptible | binFlagMigratable)
+		if b.ver >= binVersionTenant {
+			allowed |= binFlagHasTenant
+		}
+		if flags&^allowed != 0 {
 			return fmt.Errorf("binary submit: job %d: unknown flags %#x", i, flags)
 		}
 		var id int
@@ -242,9 +280,19 @@ func decodeBinaryJobs(b *binBatch, intern func([]byte) string) error {
 			return fmt.Errorf("binary submit: job %d: bad slack", i)
 		}
 		data = rest
+		var tenantName string
+		if flags&binFlagHasTenant != 0 {
+			tlen, rest, err := readUvarint(data)
+			if err != nil || tlen > len(rest) {
+				return fmt.Errorf("binary submit: job %d: bad tenant", i)
+			}
+			tenantName = internTenant(rest[:tlen])
+			data = rest[tlen:]
+		}
 		b.jobs[i] = sched.Job{
 			ID:            id,
 			Origin:        origin,
+			Tenant:        tenantName,
 			Length:        length,
 			Slack:         slack,
 			Interruptible: flags&binFlagInterruptible != 0,
@@ -262,7 +310,7 @@ func decodeBinaryJobs(b *binBatch, intern func([]byte) string) error {
 // batch. Ids are usually consecutive (the auto-assignment case), which
 // the zigzag delta encoding turns into one byte per job.
 func appendBinaryAck(buf []byte, arrival int, ids []int) []byte {
-	return appendBinaryFrame(buf, binAckMagic, func(buf []byte) []byte {
+	return appendBinaryFrame(buf, binAckMagic, binVersion, func(buf []byte) []byte {
 		buf = binary.AppendUvarint(buf, uint64(arrival))
 		buf = binary.AppendUvarint(buf, uint64(len(ids)))
 		prev := 0
@@ -321,6 +369,17 @@ func (s *Server) internOrigin(b []byte) string {
 	return string(b)
 }
 
+// internTenant is the tenant-name twin of internOrigin, resolving
+// against the configured tenant set; unknown names still decode (the
+// gate and the fair queue treat them through the catch-all or default
+// spec) at the cost of one allocation.
+func (s *Server) internTenant(b []byte) string {
+	if t, ok := s.tenants[string(b)]; ok {
+		return t
+	}
+	return string(b)
+}
+
 // handleSubmitBinary is POST /v1/jobs/batch: the binary twin of
 // handleSubmit, sharing advance, admit, the durability wait, and the
 // error mapping — only the wire codec differs, so the two routes
@@ -346,7 +405,7 @@ func (s *Server) handleSubmitBinary(w http.ResponseWriter, r *http.Request) {
 	_, dsp := tracing.StartSpan(ctx, "schedd.decode")
 	err := readBinaryFrame(http.MaxBytesReader(w, r.Body, httpx.MaxBody), binReqMagic, b)
 	if err == nil {
-		err = decodeBinaryJobs(b, s.internOrigin)
+		err = decodeBinaryJobs(b, s.internOrigin, s.internTenant)
 	}
 	dsp.SetAttr(tracing.Int("jobs", len(b.jobs)))
 	dsp.End()

@@ -156,7 +156,7 @@ func TestBinarySubmitRejections(t *testing.T) {
 	srv, _, _ := startServer(t, Config{Policy: sched.FIFO{}}, 4)
 	valid := appendBinarySubmit(nil, []JobRequest{{Origin: "CLEAN", LengthHours: 1}})
 
-	empty := appendBinaryFrame(nil, binReqMagic, func(buf []byte) []byte {
+	empty := appendBinaryFrame(nil, binReqMagic, binVersion, func(buf []byte) []byte {
 		return binary.AppendUvarint(buf, 0)
 	})
 	badMagic := bytes.Clone(valid)
@@ -280,7 +280,7 @@ func TestBinaryDecoderInterning(t *testing.T) {
 	if err := readBinaryFrame(bytes.NewReader(frame), binReqMagic, b); err != nil {
 		t.Fatal(err)
 	}
-	if err := decodeBinaryJobs(b, srv.internOrigin); err != nil {
+	if err := decodeBinaryJobs(b, srv.internOrigin, srv.internTenant); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := b.jobs[0].Origin, srv.origins["CLEAN"]; got != want {

@@ -55,10 +55,12 @@ type crashRun struct {
 	recovery   DurabilityStats
 }
 
-func crashConfig(policy sched.Policy, dir string, snapEvery int) Config {
+// crashConfig builds the common durable-server config; DataDir is
+// filled in by driveReference/recoverAndFinish per run directory.
+func crashConfig(policy sched.Policy, snapEvery int) Config {
 	return Config{
 		Policy: policy, Horizon: crashHorizon, Shards: 2,
-		DataDir: dir, SnapshotEvery: snapEvery, Sync: wal.SyncNone,
+		SnapshotEvery: snapEvery, Sync: wal.SyncNone,
 	}
 }
 
@@ -75,7 +77,8 @@ func submitAt(t *testing.T, client *Client, hour int, jobs []sched.Job) {
 		for _, j := range jobs[lo:hi] {
 			id := j.ID
 			batch = append(batch, JobRequest{
-				ID: &id, Origin: j.Origin, LengthHours: j.Length, SlackHours: j.Slack,
+				ID: &id, Origin: j.Origin, Tenant: j.Tenant,
+				LengthHours: j.Length, SlackHours: j.Slack,
 				Interruptible: j.Interruptible, Migratable: j.Migratable,
 			})
 		}
@@ -91,11 +94,12 @@ func submitAt(t *testing.T, client *Client, hour int, jobs []sched.Job) {
 
 // driveReference runs the whole workload against a journaling server
 // and returns everything the cut runs are compared against.
-func driveReference(t *testing.T, dir string, policy sched.Policy, jobs []sched.Job, snapEvery int) crashRun {
+func driveReference(t *testing.T, dir string, cfg Config, jobs []sched.Job) crashRun {
 	t.Helper()
+	cfg.DataDir = dir
 	clock := &hourClock{}
 	var recs []placeRec
-	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), crashConfig(policy, dir, snapEvery),
+	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), cfg,
 		WithClock(clock.now),
 		WithRecorder(func(h, id int, r string) { recs = append(recs, placeRec{h, id, r}) }))
 	if err != nil {
@@ -142,11 +146,12 @@ func driveReference(t *testing.T, dir string, policy sched.Policy, jobs []sched.
 // directory, re-submits whatever jobs the crash lost at their original
 // arrival hours, drains, and returns the run's full outcome — the
 // recorded placements include those re-executed during journal replay.
-func recoverAndFinish(t *testing.T, dir string, policy sched.Policy, jobs []sched.Job, snapEvery int) crashRun {
+func recoverAndFinish(t *testing.T, dir string, cfg Config, jobs []sched.Job) crashRun {
 	t.Helper()
+	cfg.DataDir = dir
 	clock := &hourClock{}
 	var recs []placeRec
-	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), crashConfig(policy, dir, snapEvery),
+	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), cfg,
 		WithClock(clock.now),
 		WithRecorder(func(h, id int, r string) { recs = append(recs, placeRec{h, id, r}) }))
 	if err != nil {
@@ -320,7 +325,7 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.policy.Name(), func(t *testing.T) {
 			refDir := t.TempDir()
-			ref := driveReference(t, refDir, tc.policy, jobs, tc.snapEvery)
+			ref := driveReference(t, refDir, crashConfig(tc.policy, tc.snapEvery), jobs)
 			journal := latestJournal(t, refDir)
 			bounds := recordBoundaries(t, journal)
 			size := bounds[len(bounds)-1]
@@ -358,7 +363,7 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 			sawSnapshotRestore, sawTorn := false, false
 			for _, cut := range cuts {
 				dir := copyDirWithCut(t, refDir, cut)
-				got := recoverAndFinish(t, dir, tc.policy, jobs, tc.snapEvery)
+				got := recoverAndFinish(t, dir, crashConfig(tc.policy, tc.snapEvery), jobs)
 				assertRunsEqual(t, ref, got, fmt.Sprintf("cut at byte %d/%d", cut, size))
 				if !got.recovery.Recovered {
 					t.Fatalf("cut at %d: boot did not report recovery", cut)
@@ -387,11 +392,13 @@ func TestRecoveryAfterCleanShutdown(t *testing.T) {
 	jobs := crashJobs(t)
 	policy := sched.CarbonGate{Percentile: 40, Window: 48}
 	dir := t.TempDir()
-	ref := driveReference(t, dir, policy, jobs, 24)
+	ref := driveReference(t, dir, crashConfig(policy, 24), jobs)
 
 	for reboot := 1; reboot <= 2; reboot++ {
 		clock := &hourClock{}
-		srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), crashConfig(policy, dir, 24),
+		cfg := crashConfig(policy, 24)
+		cfg.DataDir = dir
+		srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), cfg,
 			WithClock(clock.now))
 		if err != nil {
 			t.Fatal(err)

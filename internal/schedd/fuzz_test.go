@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"carbonshift/internal/sched"
+	"carbonshift/internal/tenant"
 )
 
 // FuzzDecodeSubmit fuzzes the POST /v1/jobs request-parsing path, both
@@ -30,9 +31,17 @@ func FuzzDecodeSubmit(f *testing.F) {
 	f.Add([]byte(`{"origin":"CLEAN","length_hours":1} trailing garbage`))
 	f.Add([]byte(`{"origin":"CLEAN","length_hours":1}{"origin":"DIRTY","length_hours":2}`))
 	f.Add([]byte(`{"origin":"CLEAN","length_hours":1}   `))
+	// Tenant-tagged submissions: valid names, the quota-limited tenant
+	// (429 path), hostile names the validator must 400, and shape
+	// confusion between the tenant field and the batch wrapper.
+	f.Add([]byte(`{"origin":"CLEAN","tenant":"web","length_hours":1}`))
+	f.Add([]byte(`{"jobs":[{"origin":"CLEAN","tenant":"quotal","length_hours":1},{"origin":"DIRTY","tenant":"quotal","length_hours":1}]}`))
+	f.Add([]byte(`{"origin":"CLEAN","tenant":"../../etc/passwd","length_hours":1}`))
+	f.Add([]byte(`{"origin":"CLEAN","tenant":"a\nb","length_hours":1}`))
+	f.Add([]byte(`{"origin":"CLEAN","tenant":{"name":"web"},"length_hours":1}`))
 
 	srv, err := New(mkSet(f, 48), clusters(4),
-		Config{Policy: sched.FIFO{}, Shards: 2, MaxQueue: 1 << 20},
+		Config{Policy: sched.FIFO{}, Shards: 2, MaxQueue: 1 << 20, Tenants: fuzzTenants(f)},
 		WithClock(func() time.Time { return t0 }))
 	if err != nil {
 		f.Fatal(err)
@@ -49,7 +58,8 @@ func FuzzDecodeSubmit(f *testing.F) {
 		rr := httptest.NewRecorder()
 		handler.ServeHTTP(rr, req)
 		switch rr.Code {
-		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusServiceUnavailable:
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusServiceUnavailable, http.StatusTooManyRequests:
 		default:
 			t.Fatalf("body %q: unexpected status %d (%s)", data, rr.Code, rr.Body.String())
 		}
@@ -79,7 +89,7 @@ func FuzzDecodeBinarySubmit(f *testing.F) {
 		{ID: &three, Origin: "DIRTY", LengthHours: 2, SlackHours: 24, Interruptible: true},
 		{Origin: "CLEAN", LengthHours: 1, Migratable: true},
 	}))
-	empty := appendBinaryFrame(nil, binReqMagic, func(buf []byte) []byte {
+	empty := appendBinaryFrame(nil, binReqMagic, binVersion, func(buf []byte) []byte {
 		return binary.AppendUvarint(buf, 0)
 	})
 	f.Add(empty)
@@ -91,14 +101,35 @@ func FuzzDecodeBinarySubmit(f *testing.F) {
 	f.Add(corrupt)
 	f.Add([]byte("CSBB"))             // bare magic
 	f.Add([]byte("CSWL\x01whatever")) // foreign magic
-	hugeCount := appendBinaryFrame(nil, binReqMagic, func(buf []byte) []byte {
+	hugeCount := appendBinaryFrame(nil, binReqMagic, binVersion, func(buf []byte) []byte {
 		return binary.AppendUvarint(buf, 1<<40)
 	})
 	f.Add(hugeCount)
 	f.Add([]byte{})
+	// Version-2 tenant frames: a tagged batch, the quota-limited tenant,
+	// a v2 frame whose tenant trailer is truncated, and the tenant flag
+	// smuggled into a v1 frame (unknown flag there).
+	tagged := appendBinarySubmit(nil, []JobRequest{
+		{Origin: "CLEAN", Tenant: "web", LengthHours: 1},
+		{Origin: "DIRTY", LengthHours: 2, SlackHours: 6},
+	})
+	f.Add(tagged)
+	f.Add(appendBinarySubmit(nil, []JobRequest{{Origin: "CLEAN", Tenant: "quotal", LengthHours: 1}}))
+	f.Add(appendBinarySubmit(nil, []JobRequest{{Origin: "CLEAN", Tenant: "nobody-configured", LengthHours: 1}}))
+	f.Add(tagged[:len(tagged)-2]) // truncated inside the tenant trailer
+	flagInV1 := appendBinaryFrame(nil, binReqMagic, binVersion, func(buf []byte) []byte {
+		buf = binary.AppendUvarint(buf, 1)
+		buf = append(buf, binFlagHasTenant)
+		buf = binary.AppendUvarint(buf, 5)
+		buf = append(buf, "CLEAN"...)
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.AppendUvarint(buf, 0)
+		return buf
+	})
+	f.Add(flagInV1)
 
 	srv, err := New(mkSet(f, 48), clusters(4),
-		Config{Policy: sched.FIFO{}, Shards: 2, MaxQueue: 1 << 20},
+		Config{Policy: sched.FIFO{}, Shards: 2, MaxQueue: 1 << 20, Tenants: fuzzTenants(f)},
 		WithClock(func() time.Time { return t0 }))
 	if err != nil {
 		f.Fatal(err)
@@ -109,7 +140,7 @@ func FuzzDecodeBinarySubmit(f *testing.F) {
 		b := &binBatch{}
 		err := readBinaryFrame(bytes.NewReader(data), binReqMagic, b)
 		if err == nil {
-			err = decodeBinaryJobs(b, srv.internOrigin)
+			err = decodeBinaryJobs(b, srv.internOrigin, srv.internTenant)
 		}
 		if err == nil && len(b.jobs) == 0 {
 			t.Fatal("binary decode returned no error and no jobs")
@@ -128,7 +159,8 @@ func FuzzDecodeBinarySubmit(f *testing.F) {
 			if ack.Accepted != len(ack.IDs) || ack.Accepted == 0 {
 				t.Fatalf("frame %q: inconsistent ack %+v", data, ack)
 			}
-		case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusServiceUnavailable:
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusServiceUnavailable, http.StatusTooManyRequests:
 			if !json.Valid(rr.Body.Bytes()) {
 				t.Fatalf("frame %q: non-JSON error body %q", data, rr.Body.String())
 			}
@@ -136,4 +168,21 @@ func FuzzDecodeBinarySubmit(f *testing.F) {
 			t.Fatalf("frame %q: unexpected status %d (%s)", data, rr.Code, rr.Body.String())
 		}
 	})
+}
+
+// fuzzTenants is the tenant world the submit fuzzers run under: a
+// weighted interactive tenant, a tightly quota-limited one (so fuzzed
+// traffic actually exercises the 429 path), a scavenger, and the
+// catch-all for arbitrary fuzzer-invented names.
+func fuzzTenants(f *testing.F) *tenant.Config {
+	cfg, err := tenant.NewConfig([]tenant.Spec{
+		{Name: "web", Class: tenant.Interactive, Weight: 2},
+		{Name: "quotal", QuotaJobsPerHour: 1},
+		{Name: "spot", Class: tenant.Scavenger},
+		{Name: "*"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return cfg
 }

@@ -28,12 +28,14 @@ package schedd
 // its gauge reads ~0 — the sanity anchor.
 
 import (
+	"errors"
 	"net/http"
 	"time"
 
 	"carbonshift/internal/metrics"
 	"carbonshift/internal/sched"
 	"carbonshift/internal/serve"
+	"carbonshift/internal/tenant"
 	"carbonshift/internal/trace"
 	"carbonshift/internal/wal"
 )
@@ -49,6 +51,23 @@ type serverMetrics struct {
 	submitJSON    *metrics.Counter // schedd_submit_requests_total{proto="json"}
 	submitBinary  *metrics.Counter // schedd_submit_requests_total{proto="binary"}
 	carbonSaved   *metrics.Gauge   // the policy-labeled child
+
+	// Tenancy families (nil without Config.Tenants). tenantRejected and
+	// tenantCarbon are event-driven (admission rejections, placement
+	// attribution); the rest mirror the fleet's per-tenant counters and
+	// are refreshed at scrape time (refreshTenantMetrics), the labeled
+	// analogue of the callback-backed fleet gauges. Labels are bounded
+	// by tenantLabel: configured names pass through, everything else
+	// aggregates under "other".
+	tenantRejected  *metrics.CounterVec // schedd_tenant_rejected_total{tenant,reason}
+	tenantCarbon    *metrics.GaugeVec   // schedd_tenant_carbon_saved_grams{tenant}
+	tenantSubmitted *metrics.GaugeVec
+	tenantCompleted *metrics.GaugeVec
+	tenantMissed    *metrics.GaugeVec
+	tenantRunning   *metrics.GaugeVec
+	tenantQueue     *metrics.GaugeVec
+	tenantSlotHours *metrics.GaugeVec
+	tenantEmissions *metrics.GaugeVec
 
 	wal  *wal.JournalMetrics
 	http *serve.HTTPMetrics
@@ -173,17 +192,103 @@ func (s *Server) initMetrics(set *trace.Set) {
 		"Cumulative gCO2eq saved versus running each executed job-hour at the job's origin region.",
 		"policy").With(s.cfg.Policy.Name())
 
-	s.fleet.OnPlaceDetail = func(hour, _ int, region, origin string) {
+	if s.cfg.Tenants != nil {
+		mx.tenantRejected = r.NewCounterVec("schedd_tenant_rejected_total",
+			"Jobs rejected by the tenant admission gate (429), by tenant and reason (quota, rate).", "tenant", "reason")
+		mx.tenantCarbon = r.NewGaugeVec("schedd_tenant_carbon_saved_grams",
+			"Cumulative gCO2eq saved versus origin-region execution, attributed to the tenant whose job-hour moved.", "tenant")
+		mx.tenantSubmitted = r.NewGaugeVec("schedd_tenant_jobs_submitted",
+			"Jobs admitted into the fleet, by tenant.", "tenant")
+		mx.tenantCompleted = r.NewGaugeVec("schedd_tenant_jobs_completed",
+			"Jobs that finished all their work, by tenant.", "tenant")
+		mx.tenantMissed = r.NewGaugeVec("schedd_tenant_jobs_missed",
+			"Jobs whose deadline passed before completion, by tenant.", "tenant")
+		mx.tenantRunning = r.NewGaugeVec("schedd_tenant_jobs_running",
+			"Jobs that executed in the most recent fleet hour, by tenant.", "tenant")
+		mx.tenantQueue = r.NewGaugeVec("schedd_tenant_queue_depth",
+			"Admitted jobs waiting (unresolved minus running), by tenant.", "tenant")
+		mx.tenantSlotHours = r.NewGaugeVec("schedd_tenant_slot_hours",
+			"Slot-hours executed, by tenant — the fairness quantity the weighted-fair dequeue divides.", "tenant")
+		mx.tenantEmissions = r.NewGaugeVec("schedd_tenant_emissions_grams",
+			"Cumulative emissions of executed work, gCO2eq, by tenant.", "tenant")
+	}
+
+	s.fleet.OnPlaceDetail = func(hour, _ int, region, origin, tenantName string) {
 		if region == origin {
 			return
 		}
 		to, okTo := mx.traces[region]
 		from, okFrom := mx.traces[origin]
-		if okTo && okFrom {
-			mx.carbonSaved.Add(from.At(hour) - to.At(hour))
+		if !okTo || !okFrom {
+			return
+		}
+		saved := from.At(hour) - to.At(hour)
+		mx.carbonSaved.Add(saved)
+		if mx.tenantCarbon != nil {
+			mx.tenantCarbon.With(s.tenantLabel(tenantName)).Add(saved)
 		}
 	}
 	s.mx = mx
+}
+
+// tenantLabel bounds per-tenant label cardinality: configured tenant
+// names pass through, anything else — including the implicit default
+// tenant unless it is declared — aggregates under "other".
+func (s *Server) tenantLabel(name string) string {
+	name = tenant.Normalize(name)
+	if _, ok := s.tenants[name]; ok {
+		return name
+	}
+	return "other"
+}
+
+// countTenantRejected records a gate rejection: n jobs for the tenant,
+// under the reason the gate error carries.
+func (s *Server) countTenantRejected(name string, n int, err error) {
+	mx := s.mx
+	if mx == nil || mx.tenantRejected == nil {
+		return
+	}
+	reason := "quota"
+	if errors.Is(err, tenant.ErrRate) {
+		reason = "rate"
+	}
+	mx.tenantRejected.With(s.tenantLabel(name), reason).Add(uint64(n))
+}
+
+// refreshTenantMetrics re-renders the per-tenant gauge families from
+// the fleet's live per-tenant counters — called on each scrape, so the
+// families track /v1/stats exactly. Stats for tenants outside the
+// configured set are summed into the "other" label rather than
+// overwriting each other.
+func (s *Server) refreshTenantMetrics() {
+	mx := s.mx
+	if mx == nil || mx.tenantSubmitted == nil {
+		return
+	}
+	agg := make(map[string]sched.TenantStat)
+	for name, t := range s.fleet.TenantStats() {
+		l := s.tenantLabel(name)
+		a := agg[l]
+		a.Submitted += t.Submitted
+		a.Completed += t.Completed
+		a.Missed += t.Missed
+		a.Running += t.Running
+		a.Queued += t.Queued
+		a.Unresolved += t.Unresolved
+		a.SlotHours += t.SlotHours
+		a.Emissions += t.Emissions
+		agg[l] = a
+	}
+	for l, a := range agg {
+		mx.tenantSubmitted.With(l).Set(float64(a.Submitted))
+		mx.tenantCompleted.With(l).Set(float64(a.Completed))
+		mx.tenantMissed.With(l).Set(float64(a.Missed))
+		mx.tenantRunning.With(l).Set(float64(a.Running))
+		mx.tenantQueue.With(l).Set(float64(a.Queued))
+		mx.tenantSlotHours.With(l).Set(float64(a.SlotHours))
+		mx.tenantEmissions.With(l).Set(a.Emissions)
+	}
 }
 
 // stepOnce advances the fleet one hour, timing the step when metrics
@@ -213,5 +318,6 @@ func (s *Server) countBackpressure(reason string) {
 // gauges as fresh as a /v1/stats poll.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.advance(r.Context()) //nolint:errcheck — scrape must not fail with the server
+	s.refreshTenantMetrics()
 	s.mx.registry.Handler().ServeHTTP(w, r)
 }

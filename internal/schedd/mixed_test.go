@@ -33,7 +33,8 @@ func driveProtocols(t *testing.T, dir string, policy sched.Policy, jobs []sched.
 	t.Helper()
 	clock := &hourClock{}
 	var recs []placeRec
-	cfg := crashConfig(policy, dir, 0)
+	cfg := crashConfig(policy, 0)
+	cfg.DataDir = dir
 	cfg.TraceSampleEvery = -1
 	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), cfg,
 		WithClock(clock.now),
@@ -146,7 +147,7 @@ func TestMixedProtocolEquivalence(t *testing.T) {
 			continue
 		}
 		dir := copyDirWithCut(t, mixedDir, cut)
-		rec := recoverAndFinish(t, dir, policy, jobs, 0)
+		rec := recoverAndFinish(t, dir, crashConfig(policy, 0), jobs)
 		assertRunsEqual(t, ref, rec, fmt.Sprintf("mixed cut at byte %d/%d", cut, size))
 		if !rec.recovery.Recovered {
 			t.Fatalf("cut at %d: boot did not report recovery", cut)
@@ -168,7 +169,8 @@ func TestMixedProtocolReplication(t *testing.T) {
 	// Reboot from the mixed-run directory: recovery replays the
 	// journal the binary submits wrote, exactly as a follower streaming
 	// that WAL would.
-	cfg := crashConfig(policy, primDir, 0)
+	cfg := crashConfig(policy, 0)
+	cfg.DataDir = primDir
 	cfg.TraceSampleEvery = -1
 	srv, err := New(mkSet(t, crashHorizon), clusters(crashSlots), cfg, WithClock((&hourClock{}).now))
 	if err != nil {

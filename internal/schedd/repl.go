@@ -213,6 +213,9 @@ func (s *Server) Promote() (bool, error) {
 		RecoveredJobs:         s.fleet.Jobs(),
 	})
 	s.known.Store(int64(s.fleet.Hour()))
+	// Quota windows continue from the replicated arrivals — a promoted
+	// primary must not grant every tenant a fresh hour.
+	s.resetGate()
 	// Rebase the clock (onPromote) BEFORE the role flips: the moment
 	// role reads primary, concurrent requests drive advance() off the
 	// clock, and an un-rebased one would step the fleet far past the

@@ -65,6 +65,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,7 @@ import (
 	"carbonshift/internal/repl"
 	"carbonshift/internal/sched"
 	"carbonshift/internal/serve"
+	"carbonshift/internal/tenant"
 	"carbonshift/internal/trace"
 	"carbonshift/internal/tracing"
 	"carbonshift/internal/wal"
@@ -104,6 +106,15 @@ type Config struct {
 	// Seed is echoed in /v1/stats so load generators can reproduce the
 	// server's trace set for offline baselines.
 	Seed uint64
+
+	// Tenants, when non-nil, turns on multi-tenancy: submissions carry a
+	// tenant name, dequeue order is weighted-fair across tenants (class
+	// weight × tenant weight), per-tenant quotas and rate limits reject
+	// with 429, and /v1/stats and /metrics grow per-tenant views. The
+	// config is part of the scheduling world: snapshots embed its
+	// fingerprint, so a replica or a recovery must run the same tenant
+	// set (cmd/schedd copies it from the primary's /v1/stats echo).
+	Tenants *tenant.Config
 
 	// DataDir, when non-empty, enables durability: admissions and hour
 	// watermarks are journaled through internal/wal, the fleet state is
@@ -168,6 +179,17 @@ type Server struct {
 	// decoder (read-only after New).
 	origins map[string]string
 
+	// Tenancy (nil/empty without Config.Tenants): gate enforces quotas
+	// and rate limits at admission, tenants interns configured tenant
+	// names for the binary decoder (read-only after New), gateClock is
+	// the token-bucket time source (nil = time.Now; injectable for
+	// tests), and tenantCounts is admit's per-batch tally scratch,
+	// reused under admitMu like inBatch.
+	gate         *tenant.Gate
+	tenants      map[string]string
+	gateClock    func() time.Time
+	tenantCounts map[string]int
+
 	// dur is the journaling state (nil without Config.DataDir);
 	// recovery describes what boot — or a promotion — restored. Both
 	// are atomic because promotion installs them on a live server
@@ -214,6 +236,13 @@ func WithRecorder(rec func(hour, jobID int, region string)) Option {
 	return func(s *Server) { s.fleet.OnPlace = rec }
 }
 
+// WithGateClock injects the tenant gate's token-bucket time source
+// (for rate-limit tests). The gate meters wall-clock request floods,
+// so it deliberately does not share the replay clock WithClock sets.
+func WithGateClock(now func() time.Time) Option {
+	return func(s *Server) { s.gateClock = now }
+}
+
 // WithPromoteNotify registers a callback invoked (once) when a
 // follower promotes to primary, with the fleet hour at promotion —
 // cmd/schedd uses it to rebase its replay clock so the new primary's
@@ -249,8 +278,22 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 	for _, c := range clusters {
 		s.origins[c.Region] = c.Region
 	}
+	if cfg.Tenants != nil {
+		fleet.SetFairQueue(tenant.NewFairQueue(cfg.Tenants))
+		names := cfg.Tenants.Names()
+		s.tenants = make(map[string]string, len(names))
+		for _, n := range names {
+			s.tenants[n] = n
+		}
+		s.tenantCounts = make(map[string]int)
+	}
 	for _, o := range opts {
 		o(s)
+	}
+	if cfg.Tenants != nil {
+		// Built after the options so WithGateClock can inject the
+		// token-bucket time source.
+		s.gate = tenant.NewGate(cfg.Tenants, s.gateClock)
 	}
 	// Metrics and tracing come up before the durable layer so the
 	// journal opened by openDurable is metered and traced from its first
@@ -268,8 +311,23 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 			return nil, err
 		}
 		s.source = repl.NewSource(s)
+		// Quota windows continue where the recovered incarnation stopped.
+		s.resetGate()
 	}
 	return s, nil
+}
+
+// resetGate rebuilds the admission gate's quota windows from the
+// fleet's own arrival records for its current hour — the recovery and
+// promotion path, so per-tenant quota enforcement resumes exactly
+// where the previous incarnation (or the replicated primary) stopped
+// instead of granting every tenant a fresh window.
+func (s *Server) resetGate() {
+	if s.gate == nil {
+		return
+	}
+	h := s.fleet.Hour()
+	s.gate.Reset(h, s.fleet.TenantArrivals(h))
 }
 
 // hourNow maps the clock to a fleet hour, clamped into [0, horizon].
@@ -348,6 +406,7 @@ func (s *Server) advance(ctx context.Context) error {
 type JobRequest struct {
 	ID            *int   `json:"id,omitempty"`
 	Origin        string `json:"origin"`
+	Tenant        string `json:"tenant,omitempty"`
 	LengthHours   int    `json:"length_hours"`
 	SlackHours    int    `json:"slack_hours"`
 	Interruptible bool   `json:"interruptible"`
@@ -373,6 +432,7 @@ type JobResponse struct {
 	ID             int     `json:"id"`
 	State          string  `json:"state"` // queued | running | done | missed
 	Origin         string  `json:"origin"`
+	Tenant         string  `json:"tenant,omitempty"`
 	Region         string  `json:"region,omitempty"`
 	ArrivalHour    int     `json:"arrival_hour"`
 	DeadlineHour   int     `json:"deadline_hour"`
@@ -406,6 +466,13 @@ type StatsResponse struct {
 	TotalEmissionsG float64       `json:"total_emissions_g"`
 	Utilization     float64       `json:"utilization"`
 	MissRate        float64       `json:"miss_rate"`
+	// Tenants is the per-tenant accounting view (sorted by name) and
+	// TenantConfig echoes the live tenant registry — the echo is how a
+	// follower's cmd/schedd copies the primary's exact tenant world, the
+	// same way it copies the trace seed. Both are absent without
+	// Config.Tenants.
+	Tenants      []TenantStatsEntry `json:"tenants,omitempty"`
+	TenantConfig []tenant.Spec      `json:"tenant_config,omitempty"`
 	// Durability describes the journaling layer and the boot-time
 	// recovery; absent when the server runs in-memory only.
 	Durability *DurabilityStats `json:"durability,omitempty"`
@@ -413,6 +480,23 @@ type StatsResponse struct {
 	// lag — for followers, promoted primaries, and primaries with an
 	// advertise URL.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// TenantStatsEntry is one tenant's row in the /v1/stats tenants block:
+// its configured class and effective weight plus the fleet's live
+// per-tenant accounting.
+type TenantStatsEntry struct {
+	Name       string       `json:"name"`
+	Class      tenant.Class `json:"class"`
+	Weight     int          `json:"weight"`
+	Submitted  int          `json:"submitted"`
+	Completed  int          `json:"completed"`
+	Missed     int          `json:"missed"`
+	Running    int          `json:"running"`
+	QueueDepth int          `json:"queue_depth"`
+	Unresolved int          `json:"unresolved"`
+	SlotHours  int          `json:"slot_hours"`
+	EmissionsG float64      `json:"emissions_g"`
 }
 
 // ErrorResponse is the JSON error body. Primary carries the
@@ -531,6 +615,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		jr := &batch[i]
 		jobs[i] = sched.Job{
 			Origin:        jr.Origin,
+			Tenant:        jr.Tenant,
 			Length:        jr.LengthHours,
 			Slack:         jr.SlackHours,
 			Interruptible: jr.Interruptible,
@@ -615,11 +700,18 @@ func (s *Server) admit(ctx context.Context, jobs []sched.Job, auto []bool, ids [
 		ids[i] = jobs[i].ID
 		s.inBatch[jobs[i].ID] = true
 	}
-	arrival, err = s.fleet.SubmitNow(jobs...)
+	arrival, err = s.submitGated(jobs)
 	if err != nil {
-		if errors.Is(err, sched.ErrHorizonExhausted) {
+		switch {
+		case errors.Is(err, sched.ErrHorizonExhausted):
 			s.countBackpressure("horizon_exhausted")
 			return 0, nil, 0, http.StatusServiceUnavailable, errors.New("replay horizon exhausted")
+		case errors.Is(err, tenant.ErrQuota):
+			s.countBackpressure("quota")
+			return 0, nil, 0, http.StatusTooManyRequests, err
+		case errors.Is(err, tenant.ErrRate):
+			s.countBackpressure("rate")
+			return 0, nil, 0, http.StatusTooManyRequests, err
 		}
 		return 0, nil, 0, http.StatusBadRequest, err
 	}
@@ -641,6 +733,40 @@ func (s *Server) admit(ctx context.Context, jobs []sched.Job, auto []bool, ids [
 	}
 	s.nextID = next
 	return arrival, journal, seq, http.StatusOK, nil
+}
+
+// submitGated feeds the batch through SubmitNowChecked with the tenant
+// gate's quota/rate check evaluated at the frozen fleet hour — the
+// same hour the fleet stamps as arrival, so the check can never race a
+// concurrent step — then commits the consumed quota. A batch is atomic:
+// one over-quota tenant rejects the whole batch (the 429's message
+// names it), which is why tenant-isolating load generators batch per
+// tenant. Without a tenant config this is plain SubmitNow. Must be
+// called under admitMu (it reuses the tenantCounts scratch).
+func (s *Server) submitGated(jobs []sched.Job) (int, error) {
+	if s.gate == nil {
+		return s.fleet.SubmitNow(jobs...)
+	}
+	defer clear(s.tenantCounts)
+	for i := range jobs {
+		s.tenantCounts[tenant.Normalize(jobs[i].Tenant)]++
+	}
+	arrival, err := s.fleet.SubmitNowChecked(func(hour int) error {
+		for name, n := range s.tenantCounts {
+			if err := s.gate.Check(name, n, hour); err != nil {
+				s.countTenantRejected(name, n, err)
+				return err
+			}
+		}
+		return nil
+	}, jobs...)
+	if err != nil {
+		return 0, err
+	}
+	for name, n := range s.tenantCounts {
+		s.gate.Commit(name, n, arrival)
+	}
+	return arrival, nil
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -666,6 +792,7 @@ func jobResponse(info sched.JobInfo) JobResponse {
 		ID:             info.ID,
 		State:          jobState(info),
 		Origin:         info.Origin,
+		Tenant:         info.Tenant,
 		Region:         info.Region,
 		ArrivalHour:    info.Arrival,
 		DeadlineHour:   info.Deadline(),
@@ -727,6 +854,32 @@ func (s *Server) stats() StatsResponse {
 	}
 	for _, c := range s.clusters {
 		resp.Clusters = append(resp.Clusters, ClusterInfo{Region: c.Region, Slots: c.Slots})
+	}
+	if cfg := s.cfg.Tenants; cfg != nil {
+		resp.TenantConfig = cfg.Tenants
+		ts := s.fleet.TenantStats()
+		names := make([]string, 0, len(ts))
+		for name := range ts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t := ts[name]
+			sp, _ := cfg.Lookup(name)
+			resp.Tenants = append(resp.Tenants, TenantStatsEntry{
+				Name:       name,
+				Class:      sp.Class,
+				Weight:     sp.Weight,
+				Submitted:  t.Submitted,
+				Completed:  t.Completed,
+				Missed:     t.Missed,
+				Running:    t.Running,
+				QueueDepth: t.Queued,
+				Unresolved: t.Unresolved,
+				SlotHours:  t.SlotHours,
+				EmissionsG: t.Emissions,
+			})
+		}
 	}
 	return resp
 }

@@ -1,0 +1,763 @@
+package schedd
+
+// The tenancy proof layer at the service boundary: quota and rate 429s
+// with their exact backpressure taxonomy against 503/413, per-tenant
+// stats and metrics, weighted-fair service ordering end to end, and —
+// because tenant identity rides the fleet image, the journal, and the
+// replication stream — crash-recovery and replication equivalence for
+// tenant-tagged workloads, including quota-window continuity across a
+// recovery and a follower promotion. The sched-level counterpart
+// (internal/sched/tenancy_test.go) proves the deterministic scheduling
+// properties; this file proves the service wiring around them.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"carbonshift/internal/httpx"
+	"carbonshift/internal/sched"
+	"carbonshift/internal/tenant"
+	"carbonshift/internal/wal"
+)
+
+// tenancyConfig is the tenant world most tests here run under: an
+// interactive tenant, a default-batch one, a scavenger, a tightly
+// quota-limited one, a rate-limited one, and the catch-all for names
+// the config does not list.
+func tenancyConfig(t testing.TB) *tenant.Config {
+	t.Helper()
+	cfg, err := tenant.NewConfig([]tenant.Spec{
+		{Name: "web", Class: tenant.Interactive, Weight: 2},
+		{Name: "batchy"},
+		{Name: "spot", Class: tenant.Scavenger},
+		{Name: "quotal", QuotaJobsPerHour: 3},
+		{Name: "ratey", RatePerSec: 1, Burst: 2},
+		{Name: "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// tjob is a one-hour CLEAN job for the given tenant with generous
+// slack.
+func tjob(tenantName string) JobRequest {
+	return JobRequest{Origin: "CLEAN", Tenant: tenantName, LengthHours: 1, SlackHours: 48}
+}
+
+// wallClock is a settable token-bucket clock for WithGateClock.
+type wallClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *wallClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *wallClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// wantStatus requires err to carry the HTTP status code and message
+// fragment — the typed-client contract load generators branch on.
+func wantStatus(t *testing.T, label string, err error, code int, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: no error, want status %d", label, code)
+	}
+	if got := httpx.StatusCodeOf(err); got != code {
+		t.Fatalf("%s: status %d (%v), want %d", label, got, err, code)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("%s: error %q does not mention %q", label, err, substr)
+	}
+}
+
+func tenantEntry(t *testing.T, stats StatsResponse, name string) TenantStatsEntry {
+	t.Helper()
+	for _, e := range stats.Tenants {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no tenant %q in stats tenants block %+v", name, stats.Tenants)
+	return TenantStatsEntry{}
+}
+
+// scrapeMetrics fetches /metrics from the client's endpoint.
+func scrapeMetrics(t *testing.T, client *Client) string {
+	t.Helper()
+	resp, err := http.Get(client.Endpoint() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	return string(body)
+}
+
+// metricLine finds the series line for name carrying every given
+// label pair (order-independent).
+func metricLine(body, name string, labels ...string) (string, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		ok := true
+		for _, l := range labels {
+			if !strings.Contains(line, l) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+func metricValue(t *testing.T, body, name string, labels ...string) float64 {
+	t.Helper()
+	line, ok := metricLine(body, name, labels...)
+	if !ok {
+		t.Fatalf("no %s series with labels %v in /metrics", name, labels)
+	}
+	fields := strings.Fields(line)
+	v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", line, err)
+	}
+	return v
+}
+
+// TestTenantAdmissionQuota: the per-hour quota rejects the fourth job
+// with 429, leaves other tenants untouched, rejects a mixed batch
+// atomically, and opens a fresh window when the fleet hour moves.
+func TestTenantAdmissionQuota(t *testing.T) {
+	_, client, clock := startServer(t, Config{Policy: sched.FIFO{}, Tenants: tenancyConfig(t)}, 4)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Submit(ctx, tjob("quotal")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := client.Submit(ctx, tjob("quotal"))
+	wantStatus(t, "4th quotal job", err, http.StatusTooManyRequests, "quota exceeded")
+
+	// Other tenants are unaffected by quotal's exhaustion.
+	if _, err := client.Submit(ctx, tjob("web")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch atomicity: one over-quota tenant rejects the whole batch, so
+	// the web job riding along is NOT admitted.
+	_, err = client.Submit(ctx, tjob("web"), tjob("quotal"))
+	wantStatus(t, "mixed batch with over-quota tenant", err, http.StatusTooManyRequests, "quota exceeded")
+
+	// A new fleet hour opens a fresh quota window.
+	clock.hour.Store(1)
+	if _, err := client.Submit(ctx, tjob("quotal")); err != nil {
+		t.Fatalf("quotal after hour advance: %v", err)
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tenantEntry(t, stats, "quotal"); e.Submitted != 4 || e.Class != tenant.Batch || e.Weight != 1 {
+		t.Fatalf("quotal entry = %+v", e)
+	}
+	if e := tenantEntry(t, stats, "web"); e.Submitted != 1 || e.Class != tenant.Interactive || e.Weight != 2 {
+		t.Fatalf("web entry = %+v", e)
+	}
+	// The config echo carries the normalized registry (the follower's
+	// cmd/schedd rebuilds its tenant world from exactly this).
+	if _, err := tenant.NewConfig(stats.TenantConfig); err != nil {
+		t.Fatalf("stats tenant_config does not round-trip: %v", err)
+	}
+	var quotalSpec *tenant.Spec
+	for i := range stats.TenantConfig {
+		if stats.TenantConfig[i].Name == "quotal" {
+			quotalSpec = &stats.TenantConfig[i]
+		}
+	}
+	if quotalSpec == nil || quotalSpec.Class != tenant.Batch || quotalSpec.Weight != 1 || quotalSpec.QuotaJobsPerHour != 3 {
+		t.Fatalf("echoed quotal spec = %+v", quotalSpec)
+	}
+}
+
+// TestTenantRateLimit: the wall-clock token bucket rejects past the
+// burst with 429 and refills on the injected gate clock — which is
+// independent of the replay clock, so the fleet hour never moves here.
+func TestTenantRateLimit(t *testing.T) {
+	wc := &wallClock{t: t0}
+	_, client, _ := startServer(t, Config{Policy: sched.FIFO{}, Tenants: tenancyConfig(t)}, 4,
+		WithGateClock(wc.now))
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ { // burst 2
+		if _, err := client.Submit(ctx, tjob("ratey")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := client.Submit(ctx, tjob("ratey"))
+	wantStatus(t, "past-burst ratey job", err, http.StatusTooManyRequests, "rate limited")
+
+	if _, err := client.Submit(ctx, tjob("web")); err != nil {
+		t.Fatalf("web during ratey rejection: %v", err)
+	}
+
+	// 1.5 seconds at 1 token/s refills past one token.
+	wc.advance(1500 * time.Millisecond)
+	if _, err := client.Submit(ctx, tjob("ratey")); err != nil {
+		t.Fatalf("ratey after refill: %v", err)
+	}
+	_, err = client.Submit(ctx, tjob("ratey"))
+	wantStatus(t, "ratey again with 0.5 tokens", err, http.StatusTooManyRequests, "rate limited")
+
+	body := scrapeMetrics(t, client)
+	if v := metricValue(t, body, "schedd_tenant_rejected_total", `tenant="ratey"`, `reason="rate"`); v != 2 {
+		t.Fatalf("schedd_tenant_rejected_total{ratey,rate} = %v, want 2", v)
+	}
+	if v := metricValue(t, body, "schedd_backpressure_total", `reason="rate"`); v != 2 {
+		t.Fatalf("schedd_backpressure_total{rate} = %v, want 2", v)
+	}
+}
+
+// TestBackpressureStatusTaxonomy pins the full rejection taxonomy —
+// 429 quota, 429 rate, 503 capacity, 413 oversize — across both wire
+// protocols and both typed clients, each carrying the status as a
+// typed httpx.StatusError.
+func TestBackpressureStatusTaxonomy(t *testing.T) {
+	tcfg, err := tenant.NewConfig([]tenant.Spec{
+		{Name: "q", QuotaJobsPerHour: 1},
+		{Name: "r", RatePerSec: 0.001, Burst: 1},
+		{Name: "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, single, _ := startServer(t, Config{Policy: sched.FIFO{}, MaxQueue: 4, Tenants: tcfg}, 1)
+	fo, err := NewFailoverClient([]string{single.Endpoint()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	combos := []struct {
+		name   string
+		binary bool
+		submit func(context.Context, ...JobRequest) (SubmitResponse, error)
+	}{
+		{"json/single", false, single.Submit},
+		{"json/failover", false, fo.Submit},
+		{"binary/single", true, single.SubmitBatch},
+		{"binary/failover", true, fo.SubmitBatch},
+	}
+
+	// Quota: one admission consumes q's whole hourly window.
+	if _, err := single.Submit(ctx, tjob("q")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range combos {
+		_, err := c.submit(ctx, tjob("q"))
+		wantStatus(t, c.name+" quota", err, http.StatusTooManyRequests, "quota exceeded")
+	}
+
+	// Rate: one admission drains r's single-token bucket; the refill at
+	// 0.001/s is negligible for the test's lifetime.
+	if _, err := single.Submit(ctx, tjob("r")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range combos {
+		_, err := c.submit(ctx, tjob("r"))
+		wantStatus(t, c.name+" rate", err, http.StatusTooManyRequests, "rate limited")
+	}
+
+	// Capacity: fill the queue to MaxQueue with an unlimited tenant —
+	// 503 is the shared-capacity answer, distinct from the per-tenant
+	// 429s above (and checked after them, since the bound check runs
+	// before the gate).
+	if _, err := single.Submit(ctx, tjob("cap"), tjob("cap")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range combos {
+		_, err := c.submit(ctx, tjob("cap"))
+		wantStatus(t, c.name+" capacity", err, http.StatusServiceUnavailable, "queue full")
+	}
+
+	// Oversize: a request body past httpx.MaxBody is 413 on both
+	// protocols. The binary frame declares its payload length up front,
+	// so the oversize origin is sized to keep the declared payload under
+	// the limit while the whole frame (13-byte header included) exceeds
+	// it — the read hits MaxBytesReader, not the frame validator.
+	hugeJSON := JobRequest{Origin: strings.Repeat("x", httpx.MaxBody), LengthHours: 1}
+	hugeBin := JobRequest{Origin: strings.Repeat("x", httpx.MaxBody-8), LengthHours: 1}
+	for _, c := range combos {
+		jr := hugeJSON
+		if c.binary {
+			jr = hugeBin
+		}
+		_, err := c.submit(ctx, jr)
+		wantStatus(t, c.name+" oversize", err, http.StatusRequestEntityTooLarge, "exceeds")
+	}
+
+	body := scrapeMetrics(t, single)
+	for _, reason := range []string{"quota", "rate", "queue_full", "oversize"} {
+		if v := metricValue(t, body, "schedd_backpressure_total", `reason="`+reason+`"`); v < 4 {
+			t.Fatalf("schedd_backpressure_total{%s} = %v, want >= 4", reason, v)
+		}
+	}
+}
+
+// TestTenantMetricsExposition: /metrics carries the per-tenant
+// families, aggregates unlisted tenants under the bounded "other"
+// label, and attributes migration carbon savings to the owning tenant.
+func TestTenantMetricsExposition(t *testing.T) {
+	_, client, clock := startServer(t, Config{Policy: sched.GreenestFirst{}, Tenants: tenancyConfig(t)}, 8)
+	ctx := context.Background()
+
+	// web's migratable DIRTY job is routed to CLEAN by GreenestFirst, so
+	// its carbon savings land on the web tenant.
+	if _, err := client.Submit(ctx, JobRequest{
+		Origin: "DIRTY", Tenant: "web", LengthHours: 2, SlackHours: 12, Migratable: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Submit(ctx, tjob("batchy")); err != nil {
+		t.Fatal(err)
+	}
+	// Two unlisted tenants must SUM into "other", not overwrite it.
+	if _, err := client.Submit(ctx, tjob("mystery"), tjob("enigma")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Submit(ctx, tjob("quotal")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := client.Submit(ctx, tjob("quotal"))
+	wantStatus(t, "over-quota quotal", err, http.StatusTooManyRequests, "quota exceeded")
+
+	clock.hour.Store(6)
+	body := scrapeMetrics(t, client)
+
+	if v := metricValue(t, body, "schedd_tenant_jobs_submitted", `tenant="web"`); v != 1 {
+		t.Fatalf(`schedd_tenant_jobs_submitted{web} = %v, want 1`, v)
+	}
+	if v := metricValue(t, body, "schedd_tenant_jobs_submitted", `tenant="other"`); v != 2 {
+		t.Fatalf(`schedd_tenant_jobs_submitted{other} = %v, want 2 (mystery+enigma)`, v)
+	}
+	if v := metricValue(t, body, "schedd_tenant_jobs_completed", `tenant="quotal"`); v != 3 {
+		t.Fatalf(`schedd_tenant_jobs_completed{quotal} = %v, want 3`, v)
+	}
+	if v := metricValue(t, body, "schedd_tenant_rejected_total", `tenant="quotal"`, `reason="quota"`); v != 1 {
+		t.Fatalf(`schedd_tenant_rejected_total{quotal,quota} = %v, want 1`, v)
+	}
+	if v := metricValue(t, body, "schedd_tenant_carbon_saved_grams", `tenant="web"`); v <= 0 {
+		t.Fatalf(`schedd_tenant_carbon_saved_grams{web} = %v, want > 0`, v)
+	}
+	if v := metricValue(t, body, "schedd_tenant_slot_hours", `tenant="web"`); v != 2 {
+		t.Fatalf(`schedd_tenant_slot_hours{web} = %v, want 2`, v)
+	}
+}
+
+// TestTenantClassServiceOrdering: with one usable slot and 200:1
+// effective weights, every interactive job finishes before any
+// scavenger job starts — and the scavenger still drains afterwards
+// (starvation-freedom end to end).
+func TestTenantClassServiceOrdering(t *testing.T) {
+	_, client, clock := startServer(t, Config{Policy: sched.FIFO{}, Tenants: tenancyConfig(t)}, 1)
+	ctx := context.Background()
+
+	var batch []JobRequest
+	for i := 0; i < 6; i++ {
+		batch = append(batch, JobRequest{Origin: "CLEAN", Tenant: "spot", LengthHours: 1, SlackHours: 200})
+	}
+	for i := 0; i < 6; i++ {
+		batch = append(batch, JobRequest{Origin: "CLEAN", Tenant: "web", LengthHours: 1, SlackHours: 200})
+	}
+	// Scavenger jobs are submitted FIRST: only the fair queue, never
+	// submission order, can explain web finishing before spot.
+	if _, err := client.Submit(ctx, batch...); err != nil {
+		t.Fatal(err)
+	}
+
+	clock.hour.Store(6)
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if web, spot := tenantEntry(t, stats, "web"), tenantEntry(t, stats, "spot"); web.Completed != 6 || spot.Completed != 0 {
+		t.Fatalf("after 6 slot-hours: web completed %d (want 6), spot completed %d (want 0)",
+			web.Completed, spot.Completed)
+	}
+	clock.hour.Store(12)
+	stats, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spot := tenantEntry(t, stats, "spot"); spot.Completed != 6 || spot.Missed != 0 {
+		t.Fatalf("scavenger starved: %+v", spot)
+	}
+}
+
+// tenantCrashJobs is the crash-harness workload with tenant identity
+// threaded through: a deterministic mix of the configured tenants, the
+// default (untagged) tenant, and an unlisted name that resolves
+// through the catch-all.
+func tenantCrashJobs(t testing.TB) []sched.Job {
+	jobs := crashJobs(t)
+	names := []string{"", "web", "batchy", "spot", "mystery"}
+	for i := range jobs {
+		jobs[i].Tenant = names[jobs[i].ID%len(names)]
+	}
+	return jobs
+}
+
+// TestTenantCrashRecoveryEquivalence: cutting the journal of a
+// tenant-configured server anywhere and recovering yields placements,
+// Result, and serialized state (tenants, fair-queue passes, and all)
+// byte-identical to the run that never crashed. Snapshots rotate
+// mid-run, so cuts recover through a tenancy-bearing snapshot restore
+// plus journal-tail replay.
+func TestTenantCrashRecoveryEquivalence(t *testing.T) {
+	jobs := tenantCrashJobs(t)
+	mkCfg := func() Config {
+		cfg := crashConfig(sched.SpatioTemporal{Percentile: 40, Window: 48}, 30)
+		cfg.Tenants = tenancyConfig(t)
+		return cfg
+	}
+	refDir := t.TempDir()
+	ref := driveReference(t, refDir, mkCfg(), jobs)
+	bounds := recordBoundaries(t, latestJournal(t, refDir))
+	size := bounds[len(bounds)-1]
+
+	cutSet := map[int64]bool{
+		0: true, 1: true, size - 1: true, size: true,
+		size / 5: true, size / 2: true,
+		bounds[len(bounds)/2]:     true,
+		bounds[len(bounds)/3] + 3: true, // torn mid-record
+	}
+	var cuts []int64
+	for c := range cutSet {
+		if c >= 0 && c <= size {
+			cuts = append(cuts, c)
+		}
+	}
+	sort.Slice(cuts, func(a, b int) bool { return cuts[a] < cuts[b] })
+
+	sawSnapshotRestore := false
+	for _, cut := range cuts {
+		dir := copyDirWithCut(t, refDir, cut)
+		got := recoverAndFinish(t, dir, mkCfg(), jobs)
+		assertRunsEqual(t, ref, got, fmt.Sprintf("tenant cut at byte %d/%d", cut, size))
+		if !got.recovery.Recovered {
+			t.Fatalf("cut at %d: boot did not report recovery", cut)
+		}
+		if got.recovery.RecoveredSnapshotHour > 0 {
+			sawSnapshotRestore = true
+		}
+	}
+	if !sawSnapshotRestore {
+		t.Error("no cut exercised a tenancy-bearing snapshot restore")
+	}
+}
+
+// TestTenantQuotaRecoveryContinuity: a rebooted server rebuilds the
+// quota windows from the recovered fleet's arrivals, so a tenant that
+// exhausted its hour before the shutdown is still rejected right after
+// recovery — no free window from restarting the process.
+func TestTenantQuotaRecoveryContinuity(t *testing.T) {
+	dir := t.TempDir()
+	mkCfg := func() Config {
+		return Config{
+			Policy: sched.FIFO{}, Horizon: 48, Shards: 2,
+			DataDir: dir, Sync: wal.SyncNone, Tenants: tenancyConfig(t),
+		}
+	}
+	ctx := context.Background()
+
+	clock := &hourClock{}
+	srv, err := New(mkSet(t, 48), clusters(4), mkCfg(), WithClock(clock.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Submit(ctx, tjob("quotal")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = client.Submit(ctx, tjob("quotal"))
+	wantStatus(t, "pre-shutdown over-quota", err, http.StatusTooManyRequests, "quota exceeded")
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	clock2 := &hourClock{}
+	srv2, err := New(mkSet(t, 48), clusters(4), mkCfg(), WithClock(clock2.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client2, err := NewClient(ts2.URL, ts2.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same hour, rebuilt window: still exhausted.
+	_, err = client2.Submit(ctx, tjob("quotal"))
+	wantStatus(t, "post-recovery over-quota", err, http.StatusTooManyRequests, "quota exceeded")
+	// Other tenants were never blocked.
+	if _, err := client2.Submit(ctx, tjob("web")); err != nil {
+		t.Fatal(err)
+	}
+	// The next hour opens a fresh window as usual.
+	clock2.hour.Store(1)
+	if _, err := client2.Submit(ctx, tjob("quotal")); err != nil {
+		t.Fatalf("quotal after hour advance: %v", err)
+	}
+}
+
+// TestTenantReplicationEquivalence: a follower of a tenant-configured
+// primary converges to byte-identical fleet state — tenant identity,
+// fair-queue virtual time, and per-tenant accounting included — across
+// mismatched shard counts.
+func TestTenantReplicationEquivalence(t *testing.T) {
+	jobs := tenantCrashJobs(t)
+	policy := sched.CarbonGate{Percentile: 40, Window: 48}
+	for _, tc := range []struct{ pShards, fShards int }{{2, 1}, {1, 4}} {
+		t.Run(fmt.Sprintf("primary%d-follower%d", tc.pShards, tc.fShards), func(t *testing.T) {
+			pclock := &hourClock{}
+			primary, err := New(mkSet(t, crashHorizon), clusters(crashSlots), Config{
+				Policy: policy, Horizon: crashHorizon, Shards: tc.pShards,
+				DataDir: t.TempDir(), SnapshotEvery: 30, Sync: wal.SyncNone,
+				Tenants: tenancyConfig(t),
+			}, WithClock(pclock.now))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer primary.Close()
+			primary.source.Poll = 200 * time.Microsecond
+			ts := httptest.NewServer(primary.Handler())
+			defer ts.Close()
+			client, err := NewClient(ts.URL, ts.Client())
+			if err != nil {
+				t.Fatal(err)
+			}
+			follower, err := NewFollower(mkSet(t, crashHorizon), clusters(crashSlots), Config{
+				Policy: policy, Horizon: crashHorizon, Shards: tc.fShards,
+				Tenants: tenancyConfig(t),
+			}, FollowerConfig{Primary: ts.URL, HTTPClient: ts.Client(), ReconnectDelay: 2 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer follower.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			follower.Start(ctx)
+
+			next := 0
+			for hour := 0; hour < crashHorizon; hour++ {
+				pclock.hour.Store(int64(hour))
+				if _, err := client.Stats(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				lo := next
+				for next < len(jobs) && jobs[next].Arrival == hour {
+					next++
+				}
+				submitAt(t, client, hour, jobs[lo:next])
+			}
+			waitUntil(t, "follower catch-up", func() bool {
+				return follower.fleet.Hour() == crashHorizon-1 && follower.fleet.Jobs() == len(jobs)
+			})
+			want, err := primary.fleet.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := follower.fleet.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("tenant-tagged follower state is not byte-identical to the primary")
+			}
+			if fs, ps := follower.fleet.TenantStats(), primary.fleet.TenantStats(); !reflect.DeepEqual(fs, ps) {
+				t.Fatalf("per-tenant stats diverge:\nfollower: %+v\nprimary:  %+v", fs, ps)
+			}
+		})
+	}
+}
+
+// TestTenantPromotionQuotaContinuity: a promoted follower rebuilds the
+// quota windows from the replicated arrivals — a failover must not
+// grant every tenant a fresh hour.
+func TestTenantPromotionQuotaContinuity(t *testing.T) {
+	pclock := &hourClock{}
+	primary, err := New(mkSet(t, 48), clusters(4), Config{
+		Policy: sched.FIFO{}, Horizon: 48, Shards: 2,
+		DataDir: t.TempDir(), Sync: wal.SyncNone, Tenants: tenancyConfig(t),
+	}, WithClock(pclock.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	primary.source.Poll = 200 * time.Microsecond
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fclock := &hourClock{}
+	follower, err := NewFollower(mkSet(t, 48), clusters(4), Config{
+		Policy: sched.FIFO{}, Horizon: 48, Shards: 2, Tenants: tenancyConfig(t),
+	}, FollowerConfig{
+		Primary: ts.URL, HTTPClient: ts.Client(), ReconnectDelay: 2 * time.Millisecond,
+	}, WithClock(fclock.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	follower.Start(fctx)
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Submit(ctx, tjob("quotal")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "replication of the quota-exhausting admissions", func() bool {
+		return follower.fleet.Jobs() == 3
+	})
+	promoted, err := follower.Promote()
+	if err != nil || !promoted {
+		t.Fatalf("promote = %v, %v", promoted, err)
+	}
+
+	fts := httptest.NewServer(follower.Handler())
+	defer fts.Close()
+	fclient, err := NewClient(fts.URL, fts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same hour on the new primary: quotal's window is already spent.
+	_, err = fclient.Submit(ctx, tjob("quotal"))
+	wantStatus(t, "post-promotion over-quota", err, http.StatusTooManyRequests, "quota exceeded")
+	if _, err := fclient.Submit(ctx, tjob("web")); err != nil {
+		t.Fatalf("web on promoted primary: %v", err)
+	}
+	fclock.hour.Store(1)
+	if _, err := fclient.Submit(ctx, tjob("quotal")); err != nil {
+		t.Fatalf("quotal on promoted primary after hour advance: %v", err)
+	}
+}
+
+// TestTenantIsolationChaos: concurrent submitters for four tenants —
+// one of them abusive, over both wire protocols — leave the
+// well-behaved tenants completely untouched: every one of their
+// submissions is admitted, while the abusive tenant gets exactly its
+// quota and nothing more. Run under -race in CI, this also exercises
+// the gate/fleet locking.
+func TestTenantIsolationChaos(t *testing.T) {
+	_, client, clock := startServer(t, Config{Policy: sched.FIFO{}, Shards: 4, Tenants: tenancyConfig(t)}, 200)
+	ctx := context.Background()
+
+	const workersPerTenant, jobsPerWorker = 3, 10
+	type outcome struct {
+		tenant string
+		err    error
+	}
+	results := make(chan outcome, 4*workersPerTenant*jobsPerWorker)
+	var wg sync.WaitGroup
+	for _, name := range []string{"web", "batchy", "spot", "quotal"} {
+		for w := 0; w < workersPerTenant; w++ {
+			wg.Add(1)
+			go func(name string, w int) {
+				defer wg.Done()
+				for i := 0; i < jobsPerWorker; i++ {
+					submit := client.Submit
+					if (w+i)%2 == 1 {
+						submit = client.SubmitBatch
+					}
+					_, err := submit(ctx, tjob(name))
+					results <- outcome{name, err}
+				}
+			}(name, w)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	admitted := map[string]int{}
+	rejected := map[string]int{}
+	for r := range results {
+		if r.err == nil {
+			admitted[r.tenant]++
+			continue
+		}
+		if r.tenant != "quotal" {
+			t.Fatalf("well-behaved tenant %q rejected: %v", r.tenant, r.err)
+		}
+		wantStatus(t, "abusive tenant rejection", r.err, http.StatusTooManyRequests, "quota exceeded")
+		rejected[r.tenant]++
+	}
+	total := workersPerTenant * jobsPerWorker
+	for _, name := range []string{"web", "batchy", "spot"} {
+		if admitted[name] != total {
+			t.Fatalf("tenant %q: %d/%d admitted", name, admitted[name], total)
+		}
+	}
+	if admitted["quotal"] != 3 || rejected["quotal"] != total-3 {
+		t.Fatalf("abusive tenant: %d admitted, %d rejected; want exactly the quota of 3 admitted",
+			admitted["quotal"], rejected["quotal"])
+	}
+
+	clock.hour.Store(5)
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"web", "batchy", "spot"} {
+		if e := tenantEntry(t, stats, name); e.Submitted != total || e.Completed != total {
+			t.Fatalf("tenant %q entry = %+v", name, e)
+		}
+	}
+	if e := tenantEntry(t, stats, "quotal"); e.Submitted != 3 {
+		t.Fatalf("quotal entry = %+v", e)
+	}
+}

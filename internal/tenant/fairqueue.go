@@ -1,0 +1,219 @@
+package tenant
+
+import (
+	"fmt"
+	"sort"
+)
+
+// passScale is the virtual-time unit: one executed job-hour advances a
+// tenant's pass by passScale / effectiveWeight. The scale leaves
+// integer headroom for very large configured weights (validation caps
+// Weight at MaxWeight) while keeping pass arithmetic exact.
+const passScale = 1 << 32
+
+// FairQueue is the weighted-fair dequeue engine the fleet applies to
+// its policy-eligible job list every Step — deficit round robin in its
+// virtual-time (stride) formulation. Each tenant carries a pass value:
+// its cumulative service normalized by its effective weight (class
+// multiplier × tenant weight). Every executed job-hour advances the
+// serving tenant's pass by passScale/weight, and the eligible list is
+// ordered least-pass-first, so long-run service shares converge to the
+// weight ratio. A scavenger tenant's pass advances ~100× faster per
+// served hour than an interactive tenant's, which is exactly what
+// guarantees it is served ~1/100th of the time rather than never —
+// the starvation-freedom property TestTenancyInvariants pins.
+//
+// vtime is the served frontier: the smallest pass among currently
+// backlogged tenants, advanced at Order time. A tenant first seen (or
+// returning from idle below the frontier) starts at vtime + stride,
+// the standard stride-scheduling join rule — so a tenant that shows up
+// late cannot monopolize the fleet while it "catches up" on virtual
+// time it never queued for, and on a fresh queue the highest-weight
+// tenant (smallest stride) is the first served.
+//
+// Everything here is deterministic integer arithmetic over sorted
+// names: the same (eligible list, pass state) always yields the same
+// order, which is what keeps serial-vs-sharded byte-equivalence and
+// crash/replication replay intact. Pass state is fleet state — the
+// fleet serializes it through Snapshot/Restore in its image.
+//
+// A FairQueue is not safe for concurrent use; the fleet only touches
+// it in the serial sections of Step and under its world lock during
+// Marshal/Unmarshal.
+type FairQueue struct {
+	cfg     *Config
+	strides map[string]int64 // resolved passScale/weight, lazily cached
+
+	pass  map[string]int64
+	vtime int64
+}
+
+// NewFairQueue builds the dequeue engine over a tenant registry (nil
+// config = every tenant at the default batch weight, still fair).
+func NewFairQueue(cfg *Config) *FairQueue {
+	return &FairQueue{
+		cfg:     cfg,
+		strides: make(map[string]int64),
+		pass:    make(map[string]int64),
+	}
+}
+
+// Fingerprint identifies the scheduling-relevant tenancy config for
+// the fleet image's world check.
+func (q *FairQueue) Fingerprint() string {
+	if q == nil {
+		return ""
+	}
+	return q.cfg.Fingerprint()
+}
+
+func (q *FairQueue) stride(name string) int64 {
+	if s, ok := q.strides[name]; ok {
+		return s
+	}
+	sp, _ := q.cfg.Lookup(name)
+	s := int64(passScale / sp.effectiveWeight())
+	if s < 1 {
+		s = 1
+	}
+	q.strides[name] = s
+	return s
+}
+
+// touch materializes a tenant's pass entry: first sight joins at
+// vtime + stride, a return from idle below the frontier lifts to
+// vtime. Returns the (possibly updated) pass.
+func (q *FairQueue) touch(t string) int64 {
+	p, ok := q.pass[t]
+	switch {
+	case !ok:
+		p = q.vtime + q.stride(t)
+		q.pass[t] = p
+	case p < q.vtime:
+		p = q.vtime
+		q.pass[t] = p
+	}
+	return p
+}
+
+// Order computes the fair dequeue permutation for one hour's eligible
+// list, given the tenant name of each entry ("" meaning default).
+// perm[k] is the index into names of the k'th job to offer the policy;
+// entries of the same tenant keep their relative (submission) order.
+// New or below-frontier tenants are touched in first, then vtime
+// advances to the smallest present pass; the per-job pass advancement
+// used to interleave within the hour is projected only — persistent
+// pass moves solely via Charge, on actual execution.
+func (q *FairQueue) Order(names []string) []int {
+	perm := make([]int, len(names))
+	if len(names) == 0 {
+		return perm
+	}
+	// Group by tenant in first-appearance order.
+	byTenant := make(map[string][]int)
+	var tenants []string
+	for i, raw := range names {
+		t := Normalize(raw)
+		if _, seen := byTenant[t]; !seen {
+			tenants = append(tenants, t)
+		}
+		byTenant[t] = append(byTenant[t], i)
+	}
+	if len(tenants) == 1 {
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm
+	}
+	// Deterministic tie-breaking below wants a canonical tenant order.
+	sort.Strings(tenants)
+	proj := make(map[string]int64, len(tenants))
+	next := make(map[string]int, len(tenants))
+	var frontier int64
+	for i, t := range tenants {
+		p := q.touch(t)
+		proj[t] = p
+		if i == 0 || p < frontier {
+			frontier = p
+		}
+	}
+	if frontier > q.vtime {
+		q.vtime = frontier
+	}
+	for k := range perm {
+		best := ""
+		var bestPass int64
+		for _, t := range tenants {
+			if next[t] >= len(byTenant[t]) {
+				continue
+			}
+			if best == "" || proj[t] < bestPass {
+				best, bestPass = t, proj[t]
+			}
+		}
+		perm[k] = byTenant[best][next[best]]
+		next[best]++
+		proj[best] += q.stride(best)
+	}
+	return perm
+}
+
+// Charge records one executed job-hour against the tenant — called
+// from the fleet's serial epilogue for every job that ran (forced or
+// policy-placed: both consumed capacity). Per-tenant increments
+// commute, so the epilogue's submission-order iteration and any
+// restore-replay agree on the final state.
+func (q *FairQueue) Charge(name string) {
+	t := Normalize(name)
+	q.pass[t] = q.touch(t) + q.stride(t)
+}
+
+// Pass returns a tenant's current virtual-time pass (tests and stats).
+func (q *FairQueue) Pass(name string) int64 {
+	return q.pass[Normalize(name)]
+}
+
+// Snapshot returns the pass state as the virtual-time frontier plus
+// parallel name/value slices in sorted-name order — the deterministic
+// form the fleet image encodes. (Materialized passes are always
+// positive — entries join at vtime + stride ≥ 1 — so filtering zeros
+// is a no-op kept as belt-and-suspenders.)
+func (q *FairQueue) Snapshot() (vtime int64, names []string, passes []int64) {
+	if q == nil {
+		return 0, nil, nil
+	}
+	names = make([]string, 0, len(q.pass))
+	for t, p := range q.pass {
+		if p != 0 {
+			names = append(names, t)
+		}
+	}
+	sort.Strings(names)
+	passes = make([]int64, len(names))
+	for i, t := range names {
+		passes[i] = q.pass[t]
+	}
+	return q.vtime, names, passes
+}
+
+// Restore replaces the pass state (the fleet Unmarshal path).
+func (q *FairQueue) Restore(vtime int64, names []string, passes []int64) error {
+	if len(names) != len(passes) {
+		return fmt.Errorf("tenant: restore: %d names, %d passes", len(names), len(passes))
+	}
+	if vtime < 0 {
+		return fmt.Errorf("tenant: restore: negative vtime %d", vtime)
+	}
+	q.vtime = vtime
+	q.pass = make(map[string]int64, len(names))
+	for i, t := range names {
+		if !NameOK(t) || t == "" {
+			return fmt.Errorf("tenant: restore: bad tenant name %q", t)
+		}
+		if passes[i] < 0 {
+			return fmt.Errorf("tenant: restore: tenant %q negative pass %d", t, passes[i])
+		}
+		q.pass[t] = passes[i]
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeTenantConfig hammers ParseConfig with hostile documents:
+// it must never panic, and anything it accepts must survive a
+// re-validation round trip through NewConfig (i.e. validation actually
+// normalized the specs it let through).
+func FuzzDecodeTenantConfig(f *testing.F) {
+	f.Add([]byte(`{"tenants": [{"name": "web", "class": "interactive", "weight": 3, "quota_jobs_per_hour": 10}]}`))
+	f.Add([]byte(`[{"name": "a"}, {"name": "*", "rate_per_sec": 2.5, "burst": 8}]`))
+	// Hostile names.
+	f.Add([]byte(`[{"name": "../../etc/passwd"}]`))
+	f.Add([]byte(`[{"name": "a\"},{\"evil"}]`))
+	f.Add([]byte(`[{"name": "` + strings.Repeat("x", MaxNameLen+1) + `"}]`))
+	f.Add([]byte(`[{"name": "label\"injection{x=\"y"}]`))
+	// Zero and negative weights.
+	f.Add([]byte(`[{"name": "z", "weight": 0}]`))
+	f.Add([]byte(`[{"name": "z", "weight": -9000}]`))
+	// Duplicate tenants.
+	f.Add([]byte(`[{"name": "dup"}, {"name": "dup", "class": "scavenger"}]`))
+	// Shape confusion.
+	f.Add([]byte(`{"tenants": {"name": "a"}}`))
+	f.Add([]byte(`{"tenants": []}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[{"name": "a", "rate_per_sec": 1e308}, {"name": "b", "burst": -1}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		// Accepted configs must be internally coherent and re-validate.
+		if len(cfg.Tenants) == 0 {
+			t.Fatal("accepted config with no tenants")
+		}
+		for _, sp := range cfg.Tenants {
+			if sp.Name != CatchAll && (!NameOK(sp.Name) || sp.Name == "") {
+				t.Fatalf("accepted bad name %q", sp.Name)
+			}
+			if sp.Weight < 1 || sp.QuotaJobsPerHour < 0 || sp.RatePerSec < 0 || sp.Burst < 0 {
+				t.Fatalf("accepted bad limits: %+v", sp)
+			}
+		}
+		if _, err := NewConfig(cfg.Tenants); err != nil {
+			t.Fatalf("accepted config fails re-validation: %v", err)
+		}
+		if cfg.Fingerprint() == "" {
+			t.Fatal("accepted config has empty fingerprint")
+		}
+	})
+}

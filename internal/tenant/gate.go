@@ -1,0 +1,193 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQuota and ErrRate classify admission rejections so the service
+// layer can map both to 429 while counting them under distinct
+// backpressure reasons.
+var (
+	ErrQuota = errors.New("tenant quota exceeded")
+	ErrRate  = errors.New("tenant rate limited")
+)
+
+// Gate enforces per-tenant admission limits: a jobs-per-fleet-hour
+// quota (deterministic — keyed to the replayed hour, so property tests
+// and recovery replay agree) and a wall-clock token bucket (protecting
+// the real service from request floods; the clock is injectable for
+// tests).
+//
+// Check and Commit are split because the caller's fleet submission can
+// still fail between them: Check (under the fleet's read lock, where
+// the hour is frozen) proves the batch would fit, Commit (after the
+// fleet accepted it) consumes quota and tokens. Both are safe for
+// concurrent use, though internal/schedd already serializes them under
+// its admission lock.
+type Gate struct {
+	cfg *Config
+	now func() time.Time
+
+	mu      sync.Mutex
+	hours   map[string]*hourCount
+	buckets map[string]*bucket
+}
+
+// hourCount tracks one tenant's admissions in one fleet hour; the
+// window resets whenever the hour moves (hours are monotone in both
+// live serving and replay).
+type hourCount struct {
+	hour int
+	n    int
+}
+
+// bucket is a standard token bucket: tokens refill at rate/sec up to
+// burst, one token per admitted job.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewGate builds a gate over the config. now is the token-bucket
+// clock; nil means time.Now.
+func NewGate(cfg *Config, now func() time.Time) *Gate {
+	if now == nil {
+		now = time.Now
+	}
+	return &Gate{
+		cfg:     cfg,
+		now:     now,
+		hours:   make(map[string]*hourCount),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Check reports whether admitting n more jobs for the tenant at the
+// given fleet hour would violate its quota or rate limit. It consumes
+// nothing.
+func (g *Gate) Check(name string, n, hour int) error {
+	if g == nil {
+		return nil
+	}
+	name = Normalize(name)
+	sp, _ := g.cfg.Lookup(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if q := sp.QuotaJobsPerHour; q > 0 {
+		used := 0
+		if hc := g.hours[name]; hc != nil && hc.hour == hour {
+			used = hc.n
+		}
+		if used+n > q {
+			return fmt.Errorf("tenant %q: %w (%d/%d jobs at hour %d)", name, ErrQuota, used+n, q, hour)
+		}
+	}
+	if sp.RatePerSec > 0 {
+		if g.peekTokens(name, sp) < float64(n) {
+			return fmt.Errorf("tenant %q: %w (%.3g jobs/s)", name, ErrRate, sp.RatePerSec)
+		}
+	}
+	return nil
+}
+
+// Commit records n admitted jobs for the tenant at the given hour,
+// consuming quota window and rate tokens.
+func (g *Gate) Commit(name string, n, hour int) {
+	if g == nil {
+		return
+	}
+	name = Normalize(name)
+	sp, _ := g.cfg.Lookup(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	hc := g.hours[name]
+	if hc == nil {
+		hc = &hourCount{hour: hour}
+		g.hours[name] = hc
+	}
+	if hc.hour != hour {
+		hc.hour, hc.n = hour, 0
+	}
+	hc.n += n
+	if sp.RatePerSec > 0 {
+		g.peekTokens(name, sp) // refill to now
+		g.buckets[name].tokens -= float64(n)
+	}
+}
+
+// peekTokens refills the tenant's bucket to the current instant and
+// returns the balance. Callers hold g.mu.
+func (g *Gate) peekTokens(name string, sp Spec) float64 {
+	b := g.buckets[name]
+	now := g.now()
+	if b == nil {
+		burst := sp.Burst
+		if burst < 1 {
+			burst = int(sp.RatePerSec)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		b = &bucket{tokens: float64(burst), last: now}
+		g.buckets[name] = b
+		return b.tokens
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		burst := sp.Burst
+		if burst < 1 {
+			burst = int(sp.RatePerSec)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		b.tokens += dt * sp.RatePerSec
+		if max := float64(burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	return b.tokens
+}
+
+// Reset replaces the quota windows with the given per-tenant counts at
+// the given hour — the crash-recovery and follower-promotion path,
+// where the current hour's admissions are rebuilt from the recovered
+// fleet so quota enforcement continues exactly where the previous
+// primary stopped. Token buckets restart full: wall-clock state does
+// not survive a process.
+func (g *Gate) Reset(hour int, counts map[string]int) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hours = make(map[string]*hourCount, len(counts))
+	g.buckets = make(map[string]*bucket)
+	for name, n := range counts {
+		g.hours[Normalize(name)] = &hourCount{hour: hour, n: n}
+	}
+}
+
+// Admitted returns the tenant's admission count in the given hour.
+func (g *Gate) Admitted(name string, hour int) int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if hc := g.hours[Normalize(name)]; hc != nil && hc.hour == hour {
+		return hc.n
+	}
+	return 0
+}
+
+// Config returns the gate's tenant registry.
+func (g *Gate) Config() *Config {
+	if g == nil {
+		return nil
+	}
+	return g.cfg
+}

@@ -1,0 +1,266 @@
+// Package tenant is the multi-tenancy model for the online scheduler:
+// named tenants with priority classes, per-tenant admission quotas and
+// token-bucket rate limits (the Gate), and a weighted deficit-round-
+// robin dequeue engine (the FairQueue) that internal/sched applies to
+// the policy-eligible job list each Step.
+//
+// The split mirrors where enforcement has to happen. Admission control
+// is a service concern — internal/schedd consults the Gate under its
+// admission lock and maps violations to 429 — while fair dequeue is a
+// scheduling concern that must be deterministic and serializable:
+// FairQueue state rides the fleet image (internal/sched/state.go) so a
+// recovered or replicated fleet reorders exactly like the original.
+//
+// The resource model follows the shape of multi-tenant authorization
+// layers (a flat registry of named principals, each carrying its own
+// limits and a default for the unnamed principal): jobs without a
+// tenant belong to "default", and unknown tenant names fall back to
+// the catch-all "*" spec when the config declares one.
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultName is the tenant every untagged job belongs to.
+const DefaultName = "default"
+
+// CatchAll, when present in a config, supplies the limits and weight
+// applied to tenant names the config does not list.
+const CatchAll = "*"
+
+// MaxNameLen bounds tenant-name length; names also pass nameOK, so a
+// hostile submission cannot smuggle label-breaking bytes into metrics
+// or unbounded strings into the journal.
+const MaxNameLen = 64
+
+// Class is a tenant's priority class. Classes multiply the tenant's
+// weight in the fair-dequeue engine rather than imposing strict
+// priority, so the lowest class is never starved outright: under
+// saturating interactive load a scavenger tenant still accrues deficit
+// and is served at roughly classWeight ratios.
+type Class string
+
+const (
+	Interactive Class = "interactive"
+	Batch       Class = "batch"
+	Scavenger   Class = "scavenger"
+)
+
+// classWeight is the service-share multiplier per class.
+func classWeight(c Class) int {
+	switch c {
+	case Interactive:
+		return 100
+	case Scavenger:
+		return 1
+	default: // Batch
+		return 10
+	}
+}
+
+// ParseClass validates a class name ("" defaults to Batch).
+func ParseClass(s string) (Class, error) {
+	switch Class(s) {
+	case "":
+		return Batch, nil
+	case Interactive, Batch, Scavenger:
+		return Class(s), nil
+	}
+	return "", fmt.Errorf("tenant: unknown class %q (want interactive, batch, or scavenger)", s)
+}
+
+// Spec is one tenant's declaration, as decoded from the -tenants JSON
+// file. Zero values mean "default" for Weight (1) and Class (batch),
+// and "unlimited" for the quota and rate fields.
+type Spec struct {
+	// Name identifies the tenant; "*" declares the catch-all spec for
+	// unlisted tenant names.
+	Name string `json:"name"`
+	// Class is interactive, batch (default), or scavenger.
+	Class Class `json:"class,omitempty"`
+	// Weight scales the tenant's fair share within its class (default 1).
+	Weight int `json:"weight,omitempty"`
+	// QuotaJobsPerHour caps admissions per fleet hour (0 = unlimited).
+	QuotaJobsPerHour int `json:"quota_jobs_per_hour,omitempty"`
+	// RatePerSec and Burst configure the wall-clock token bucket
+	// (RatePerSec 0 = unlimited; Burst 0 defaults to max(1, RatePerSec)).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+}
+
+// effectiveWeight is the spec's share in the DRR engine: class
+// multiplier × tenant weight.
+func (s Spec) effectiveWeight() int {
+	w := s.Weight
+	if w < 1 {
+		w = 1
+	}
+	c := s.Class
+	if c == "" {
+		c = Batch
+	}
+	return w * classWeight(c)
+}
+
+// Config is a validated tenant registry.
+type Config struct {
+	Tenants []Spec `json:"tenants"`
+
+	byName map[string]Spec
+}
+
+// NameOK reports whether a tenant name is structurally acceptable on a
+// job: empty (meaning default) or 1..MaxNameLen bytes of
+// [A-Za-z0-9._-]. The bound keeps hostile names out of metric labels,
+// log lines, and the journal.
+func NameOK(name string) bool {
+	if name == "" {
+		return true
+	}
+	if len(name) > MaxNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Normalize maps the empty tenant to DefaultName.
+func Normalize(name string) string {
+	if name == "" {
+		return DefaultName
+	}
+	return name
+}
+
+// ParseConfig decodes and validates a tenants JSON document — either
+// {"tenants": [...]} or a bare [...] array of Specs. It rejects
+// duplicate or malformed names, negative weights/limits, and unknown
+// classes; it never panics on hostile input (fuzzed by
+// FuzzDecodeTenantConfig).
+func ParseConfig(data []byte) (*Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		var specs []Spec
+		if err2 := json.Unmarshal(data, &specs); err2 != nil {
+			return nil, fmt.Errorf("tenant: config decode: %w", err)
+		}
+		cfg.Tenants = specs
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("tenant: config declares no tenants")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// NewConfig validates an in-memory spec list (the non-file
+// construction path used by tests and cmd/schedd's follower copy).
+func NewConfig(specs []Spec) (*Config, error) {
+	cfg := &Config{Tenants: specs}
+	if len(specs) == 0 {
+		return nil, errors.New("tenant: config declares no tenants")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func (c *Config) validate() error {
+	c.byName = make(map[string]Spec, len(c.Tenants))
+	for i := range c.Tenants {
+		sp := &c.Tenants[i]
+		if sp.Name != CatchAll && (sp.Name == "" || !NameOK(sp.Name)) {
+			return fmt.Errorf("tenant: bad tenant name %q (want 1..%d bytes of [A-Za-z0-9._-], or %q)", sp.Name, MaxNameLen, CatchAll)
+		}
+		if _, dup := c.byName[sp.Name]; dup {
+			return fmt.Errorf("tenant: duplicate tenant %q", sp.Name)
+		}
+		cl, err := ParseClass(string(sp.Class))
+		if err != nil {
+			return fmt.Errorf("tenant %q: %w", sp.Name, err)
+		}
+		sp.Class = cl
+		if sp.Weight < 0 {
+			return fmt.Errorf("tenant %q: negative weight %d", sp.Name, sp.Weight)
+		}
+		if sp.Weight == 0 {
+			sp.Weight = 1
+		}
+		if sp.QuotaJobsPerHour < 0 {
+			return fmt.Errorf("tenant %q: negative quota %d", sp.Name, sp.QuotaJobsPerHour)
+		}
+		if sp.RatePerSec < 0 || sp.RatePerSec != sp.RatePerSec {
+			return fmt.Errorf("tenant %q: bad rate %v", sp.Name, sp.RatePerSec)
+		}
+		if sp.Burst < 0 {
+			return fmt.Errorf("tenant %q: negative burst %d", sp.Name, sp.Burst)
+		}
+		c.byName[sp.Name] = *sp
+	}
+	return nil
+}
+
+// Lookup resolves a (normalized) tenant name to its spec: an exact
+// match, the catch-all if declared, else the zero-limit default spec.
+// known reports whether the name was explicitly declared.
+func (c *Config) Lookup(name string) (sp Spec, known bool) {
+	if c == nil {
+		return Spec{Name: name, Class: Batch, Weight: 1}, false
+	}
+	name = Normalize(name)
+	if sp, ok := c.byName[name]; ok {
+		return sp, true
+	}
+	if sp, ok := c.byName[CatchAll]; ok {
+		sp.Name = name
+		return sp, false
+	}
+	return Spec{Name: name, Class: Batch, Weight: 1}, false
+}
+
+// Names lists the declared tenant names (catch-all excluded), sorted.
+func (c *Config) Names() []string {
+	if c == nil {
+		return nil
+	}
+	out := make([]string, 0, len(c.Tenants))
+	for _, sp := range c.Tenants {
+		if sp.Name != CatchAll {
+			out = append(out, sp.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fingerprint is a canonical one-line rendering of every spec's
+// scheduling-relevant fields (name, class, weight). The fleet image
+// embeds it so a snapshot taken under one tenancy config is refused by
+// a fleet running another — a silent mismatch would diverge
+// placements. Admission limits are excluded: they never influence
+// dequeue order.
+func (c *Config) Fingerprint() string {
+	if c == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(c.Tenants))
+	for _, sp := range c.Tenants {
+		parts = append(parts, fmt.Sprintf("%s:%s:%d", sp.Name, sp.Class, sp.Weight))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
