@@ -51,6 +51,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -80,6 +81,12 @@ type submission struct {
 	ids     []int
 	arrival int
 }
+
+// maxRetryAfterPause caps how long a submitter sleeps on a server
+// Retry-After hint. Quota windows are real fleet hours; honoring one
+// literally would park the benchmark, so the hint is respected in
+// direction but bounded in magnitude.
+const maxRetryAfterPause = 2 * time.Second
 
 func main() {
 	var (
@@ -212,14 +219,16 @@ func main() {
 	// Fan the stream across concurrent submitters. Each request carries
 	// up to -batch jobs; a shared ticker paces the global rate.
 	var (
-		reqCh    = make(chan []schedd.JobRequest, *submitters)
-		mu       sync.Mutex
-		subs     []submission
-		lats     []float64
-		errorsN  int
-		acked    = map[string]int{} // per-tenant acknowledged jobs
-		rejected = map[string]int{} // per-tenant jobs rejected with 429
-		wg       sync.WaitGroup
+		reqCh        = make(chan []schedd.JobRequest, *submitters)
+		mu           sync.Mutex
+		subs         []submission
+		lats         []float64
+		errorsN      int
+		partials     int                // gateway 207s: batches only partially admitted
+		backoffHints int                // rejections that carried a Retry-After hint
+		acked        = map[string]int{} // per-tenant acknowledged jobs
+		rejected     = map[string]int{} // per-tenant jobs rejected with 429
+		wg           sync.WaitGroup
 	)
 	var throttle <-chan time.Time
 	if *rate > 0 {
@@ -286,22 +295,53 @@ func main() {
 				ack, err := submit(cctx, chunk...)
 				sp.End()
 				elapsed := time.Since(t0)
+				backoff := 0
+				var pe *schedd.PartialError
 				mu.Lock()
 				switch {
 				case err == nil:
 					subs = append(subs, submission{ids: ack.IDs, arrival: ack.ArrivalHour})
 					lats = append(lats, elapsed.Seconds()*1000)
 					acked[chunk[0].Tenant] += len(ack.IDs)
+				case errors.As(err, &pe):
+					// A gateway split the batch and only part of it was
+					// admitted (207): count exactly the acked ids — never
+					// the whole chunk — so a partial outcome can neither
+					// lose nor double-count a job.
+					partials++
+					ids := pe.AckedIDs()
+					subs = append(subs, submission{ids: ids, arrival: pe.Resp.ArrivalHour})
+					lats = append(lats, elapsed.Seconds()*1000)
+					acked[chunk[0].Tenant] += len(ids)
+					backoff = pe.MaxRetryAfter()
 				case httpx.StatusCodeOf(err) == http.StatusTooManyRequests && prof.tenantFor != nil:
 					// Per-tenant quota/rate rejection: for the multitenant
 					// profile this is expected signal (the abusive tenant is
 					// SUPPOSED to be throttled), tallied per tenant instead of
 					// counting as a failed request.
 					rejected[chunk[0].Tenant] += len(chunk)
+					backoff = httpx.RetryAfterOf(err)
 				default:
 					errorsN++
+					backoff = httpx.RetryAfterOf(err)
+				}
+				if backoff > 0 {
+					backoffHints++
 				}
 				mu.Unlock()
+				if backoff > 0 {
+					// Honor the server's Retry-After hint, capped so a
+					// quota window measured in real hours cannot stall
+					// the benchmark.
+					d := time.Duration(backoff) * time.Second
+					if d > maxRetryAfterPause {
+						d = maxRetryAfterPause
+					}
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+					}
+				}
 			}
 		}()
 	}
@@ -347,6 +387,8 @@ func main() {
 	// BenchmarkScheddSubmit* pair reports, in a stable machine-readable
 	// form that the CI end-to-end smoke greps and archives.
 	fmt.Printf("bench_jobs_per_sec=%d\n", int(perSec))
+	fmt.Printf("retry_after_hints=%d\n", backoffHints)
+	fmt.Printf("partial_batches=%d\n", partials)
 	p50, p95, p99, max := latencySummary(lats)
 	fmt.Printf("submit latency   p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms (per request, batch=%d)\n",
 		p50, p95, p99, max, *batch)

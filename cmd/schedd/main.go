@@ -106,6 +106,9 @@ func main() {
 		probeEvery  = flag.Duration("probe-interval", 0, "follower: probe the primary's /healthz at this cadence and auto-promote on loss (0 = promote only via POST /v1/repl/promote)")
 		probeFails  = flag.Int("probe-failures", 3, "follower: consecutive failed probes before auto-promotion")
 		tenantsPath = flag.String("tenants", "", "multi-tenant admission config: a JSON file of tenant specs (see examples/tenants/); empty = single-tenant mode. Followers copy the primary's tenant config instead.")
+		partitions  = flag.Int("partitions", 0, "total partition count when this server is one slice of a schedgw-fronted fleet (0 = unpartitioned)")
+		partitionID = flag.Int("partition-id", 0, "this server's partition index in [0, -partitions)")
+		idBase      = flag.Int("id-base", -1, "start of this partition's auto-assigned job id range (-1 = partition-id * max-jobs). Followers copy the primary's partition identity instead.")
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N requests into /debug/traces (0 = default 16, 1 = every request, negative = never)")
 		traceSlow   = flag.Duration("trace-slow", 0, "always record requests slower than this, sampled or not (0 = default 250ms)")
 		debugAddr   = flag.String("debug-addr", "", "operator debug listener (pprof + /debug/traces); empty = disabled. Bind it to loopback.")
@@ -136,6 +139,18 @@ func main() {
 	var tenants *tenant.Config
 	horizon := *days * 24
 	worldSeed := *seed
+	partCount, partID, partBase := *partitions, *partitionID, *idBase
+	if partCount > 0 {
+		if partID < 0 || partID >= partCount {
+			log.Error("-partition-id outside [0, -partitions)", "partition_id", partID, "partitions", partCount)
+			os.Exit(2)
+		}
+		if partBase < 0 {
+			partBase = partID * *maxJobs
+		}
+	} else {
+		partBase = 0
+	}
 	if *follow != "" {
 		info, err := fetchPrimaryConfig(ctx, *follow)
 		if err != nil {
@@ -163,6 +178,12 @@ func main() {
 				log.Error("primary's tenant config does not validate", "err", err)
 				os.Exit(1)
 			}
+		}
+		// Partition identity is world config too: a promoted standby
+		// must answer the gateway with the same partition echo and keep
+		// assigning ids from the same disjoint range.
+		if info.Partition != nil {
+			partID, partCount, partBase = info.Partition.ID, info.Partition.Count, info.Partition.IDBase
 		}
 		log.Info("following primary", "primary", *follow, "policy", info.Policy,
 			"regions", len(clusters), "horizon_hours", horizon, "seed", worldSeed,
@@ -232,6 +253,10 @@ func main() {
 		MaxJobs:       *maxJobs,
 		MaxQueue:      *maxQueue,
 		Seed:          worldSeed,
+		Speedup:       *speedup,
+		PartitionID:   partID,
+		Partitions:    partCount,
+		IDBase:        partBase,
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapEvery,
 		Sync:          sync,

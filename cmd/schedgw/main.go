@@ -1,0 +1,91 @@
+// Command schedgw is the stateless routing gateway in front of a
+// partitioned schedd fleet. Each -partition flag names one partition's
+// replica set (primary and standbys, comma-separated); the gateway
+// routes job submissions to the partition owning each job's origin
+// region, splits mixed batches, merges /v1/stats and /metrics into
+// fleet-wide views, and proxies job lookups by id range.
+//
+// Usage:
+//
+//	schedgw -addr :9080 \
+//	  -partition http://p0-primary:9090,http://p0-standby:9091 \
+//	  -partition http://p1-primary:9092,http://p1-standby:9093
+//	curl -X POST localhost:9080/v1/jobs -d '{"origin":"DE","length_hours":6,"slack_hours":24}'
+//	curl localhost:9080/v1/stats
+//	curl localhost:9080/metrics
+//
+// The gateway holds no scheduling state: topology (which partition
+// owns which region, each partition's job-id base) is learned from the
+// partitions' own /v1/stats echoes, so any number of schedgw replicas
+// can front the same fleet. Each partition is reached through a
+// failover client, so a partition surviving a primary kill via its hot
+// standby needs no gateway reconfiguration.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"carbonshift/internal/gateway"
+	"carbonshift/internal/serve"
+)
+
+// partitionFlags collects repeated -partition values.
+type partitionFlags [][]string
+
+func (p *partitionFlags) String() string { return fmt.Sprint([][]string(*p)) }
+
+func (p *partitionFlags) Set(v string) error {
+	var urls []string
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("empty partition replica list")
+	}
+	*p = append(*p, urls)
+	return nil
+}
+
+func main() {
+	var parts partitionFlags
+	addr := flag.String("addr", ":9080", "listen address")
+	flag.Var(&parts, "partition", "one partition's replica base URLs, comma-separated (primary first); repeat per partition")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout talking to partitions")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	gw, err := gateway.New(gateway.Config{
+		Partitions: parts,
+		HTTPClient: &http.Client{Timeout: *timeout},
+	})
+	if err != nil {
+		log.Error("bad configuration", "err", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Info("gateway serving", "addr", *addr, "partitions", len(parts))
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := serve.ListenAndServe(ctx, server, serve.DefaultGrace); err != nil {
+		log.Error("server failed", "err", err)
+		os.Exit(1)
+	}
+	log.Info("gateway stopped")
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"carbonshift/internal/carbonapi"
+	"carbonshift/internal/gateway"
 	"carbonshift/internal/sched"
 	"carbonshift/internal/schedd"
 	"carbonshift/internal/serve"
@@ -26,8 +27,9 @@ import (
 )
 
 // liveFamilies renders a real follower schedd (whose registry carries
-// the schedd_*, wal_*, repl_*, and http_* families) plus a carbonapi
-// server, and returns every family name with its TYPE.
+// the schedd_*, wal_*, repl_*, and http_* families), a carbonapi
+// server, and a routing gateway (gateway_*), and returns every family
+// name with its TYPE.
 func liveFamilies(t *testing.T) map[string]string {
 	t.Helper()
 	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -61,9 +63,17 @@ func liveFamilies(t *testing.T) map[string]string {
 
 	api := carbonapi.NewServer(set, carbonapi.WithMetrics())
 
+	// A gateway registers the gateway_* families at construction;
+	// topology learning is lazy, so no live partition is needed.
+	gw, err := gateway.New(gateway.Config{Partitions: [][]string{{"http://127.0.0.1:9"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	fams := map[string]string{}
 	renderInto(t, fams, func(buf *bytes.Buffer) error { return srv.Metrics().WriteTo(buf) })
 	renderInto(t, fams, func(buf *bytes.Buffer) error { return api.Metrics().WriteTo(buf) })
+	renderInto(t, fams, func(buf *bytes.Buffer) error { return gw.Metrics().WriteTo(buf) })
 	return fams
 }
 
@@ -113,6 +123,7 @@ func metricNames(expr string) []string {
 			strings.HasPrefix(id, "repl_"),
 			strings.HasPrefix(id, "http_"),
 			strings.HasPrefix(id, "carbonapi_"),
+			strings.HasPrefix(id, "gateway_"),
 			id == "up":
 			out = append(out, id)
 		}
@@ -291,7 +302,7 @@ func TestObservabilityDocCoverage(t *testing.T) {
 			t.Errorf("live family %s is not documented in docs/OBSERVABILITY.md", name)
 		}
 	}
-	for _, m := range regexp.MustCompile("`(schedd_[a-z_]+|wal_[a-z_]+|repl_[a-z_]+|carbonapi_[a-z_]+|http_[a-z_]+)`").FindAllStringSubmatch(doc, -1) {
+	for _, m := range regexp.MustCompile("`(schedd_[a-z_]+|wal_[a-z_]+|repl_[a-z_]+|carbonapi_[a-z_]+|http_[a-z_]+|gateway_[a-z_]+)`").FindAllStringSubmatch(doc, -1) {
 		if !known(fams, m[1]) {
 			t.Errorf("docs/OBSERVABILITY.md documents %s, which no live /metrics exposes", m[1])
 		}

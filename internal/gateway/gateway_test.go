@@ -1,0 +1,558 @@
+package gateway
+
+// Service-level tests for the routing gateway: the partial-failure
+// contract (no acked job lost or double-counted when a split batch
+// half-fails), the backpressure taxonomy passing through unmodified,
+// the fleet-wide stats and metrics merges, and id-range job routing.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"carbonshift/internal/httpx"
+	"carbonshift/internal/metrics"
+	"carbonshift/internal/sched"
+	"carbonshift/internal/schedd"
+	"carbonshift/internal/tenant"
+)
+
+// twoPartitions builds a two-region world split one region per
+// partition, with per-partition config edits, and a gateway in front.
+func twoPartitions(t *testing.T, edit func(i int, cfg *schedd.Config)) (*Gateway, *httptest.Server, []*schedd.Server, []*httptest.Server, *hourClock) {
+	t.Helper()
+	const horizon = 24 * 5
+	set, cl, origins := mkWorld(t, horizon, 2, 4)
+	groups := groupSplit(origins, 2)
+	clock := &hourClock{}
+	srvs := make([]*schedd.Server, 2)
+	tss := make([]*httptest.Server, 2)
+	var urls [][]string
+	for i := 0; i < 2; i++ {
+		sub, subcl := subWorld(t, set, cl, groups[i])
+		cfg := schedd.Config{
+			Policy:      sched.FIFO{},
+			Horizon:     horizon,
+			Partitions:  2,
+			PartitionID: i,
+			IDBase:      i * 1_000_000,
+		}
+		if edit != nil {
+			edit(i, &cfg)
+		}
+		srv, err := schedd.New(sub, subcl, cfg, schedd.WithClock(clock.now))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = srv
+		tss[i] = httptest.NewServer(srv.Handler())
+		t.Cleanup(tss[i].Close)
+		urls = append(urls, []string{tss[i].URL})
+	}
+	gw, gwts := startGateway(t, urls)
+	return gw, gwts, srvs, tss, clock
+}
+
+func job(origin string) schedd.JobRequest {
+	return schedd.JobRequest{Origin: origin, LengthHours: 1, SlackHours: 24}
+}
+
+// TestPartialFailureOutcomes is the satellite-3 regression: a mixed
+// batch whose sub-batches succeed on one partition and fail on another
+// must answer 207 with per-job outcomes — the acked ids reported
+// exactly once, the rejections with their partition, status, and
+// Retry-After — on both wire protocols.
+func TestPartialFailureOutcomes(t *testing.T) {
+	// Partition 1 can hold one outstanding job; partition 0 is roomy.
+	_, gwts, _, _, _ := twoPartitions(t, func(i int, cfg *schedd.Config) {
+		if i == 1 {
+			cfg.MaxQueue = 1
+		}
+	})
+	client, err := schedd.NewClient(gwts.URL, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, binary := range []bool{false, true} {
+		proto := "json"
+		submit := client.Submit
+		if binary {
+			proto, submit = "binary", client.SubmitBatch
+		}
+		t.Run(proto, func(t *testing.T) {
+			// R00 routes to partition 0 (accepts), the two R01 jobs to
+			// partition 1 (queue bound 1: the 2-job sub-batch is refused).
+			_, err := submit(ctx, job("R00"), job("R01"), job("R01"))
+			var pe *schedd.PartialError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *schedd.PartialError", err)
+			}
+			if pe.Resp.Accepted != 1 || len(pe.Resp.Outcomes) != 3 {
+				t.Fatalf("accepted %d of %d outcomes, want 1 of 3", pe.Resp.Accepted, len(pe.Resp.Outcomes))
+			}
+			acked := pe.AckedIDs()
+			if len(acked) != 1 {
+				t.Fatalf("acked ids %v, want exactly one", acked)
+			}
+			o0, o1, o2 := pe.Resp.Outcomes[0], pe.Resp.Outcomes[1], pe.Resp.Outcomes[2]
+			if o0.Status != http.StatusOK || o0.Partition != 0 || o0.ID != acked[0] {
+				t.Fatalf("outcome 0 = %+v, want admitted on partition 0", o0)
+			}
+			for i, o := range []schedd.JobOutcome{o1, o2} {
+				if o.Status != http.StatusServiceUnavailable || o.Partition != 1 {
+					t.Fatalf("outcome %d = %+v, want 503 from partition 1", i+1, o)
+				}
+				if !strings.Contains(o.Error, "queue full") {
+					t.Fatalf("outcome %d error %q, want queue full", i+1, o.Error)
+				}
+				if o.RetryAfter != 1 {
+					t.Fatalf("outcome %d retry_after = %d, want 1", i+1, o.RetryAfter)
+				}
+			}
+			if pe.MaxRetryAfter() != 1 {
+				t.Fatalf("MaxRetryAfter = %d, want 1", pe.MaxRetryAfter())
+			}
+			// The admitted job is real: it is queryable through the
+			// gateway, so a retry of the failed jobs cannot double it.
+			got, err := client.Job(ctx, acked[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ID != acked[0] || got.Origin != "R00" {
+				t.Fatalf("job lookup = %+v, want id %d origin R00", got, acked[0])
+			}
+		})
+	}
+
+	// On the wire the partial outcome is a 207 Multi-Status with a JSON
+	// body, on both routes.
+	resp, err := http.Post(gwts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"jobs":[{"origin":"R00","length_hours":1,"slack_hours":24},{"origin":"R01","length_hours":1,"slack_hours":24},{"origin":"R01","length_hours":1,"slack_hours":24}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("raw split status %d, want 207", resp.StatusCode)
+	}
+	var ms schedd.MultiStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ms); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Accepted != 1 || len(ms.Outcomes) != 3 {
+		t.Fatalf("raw 207 body = %+v, want 1 accepted of 3 outcomes", ms)
+	}
+}
+
+// TestUniformSplitFailureCollapses: when every sub-batch fails with the
+// same status, the gateway answers that status verbatim (not a 207),
+// with the largest Retry-After — a fully-rejected batch looks exactly
+// like a single-partition rejection.
+func TestUniformSplitFailureCollapses(t *testing.T) {
+	_, gwts, _, _, _ := twoPartitions(t, func(i int, cfg *schedd.Config) {
+		cfg.MaxQueue = 1
+	})
+	client, err := schedd.NewClient(gwts.URL, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_, err = client.Submit(ctx, job("R00"), job("R00"), job("R01"), job("R01"))
+	var pe *schedd.PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("uniform failure surfaced as partial: %v", err)
+	}
+	wantStatus(t, "uniform split failure", err, http.StatusServiceUnavailable, "queue full")
+	if got := httpx.RetryAfterOf(err); got != 1 {
+		t.Fatalf("Retry-After = %d, want 1", got)
+	}
+}
+
+// TestPartialFailurePartitionDown: a partition dying mid-split yields
+// synthetic 503 outcomes for its jobs — retryable backpressure — while
+// the live partition's acks still count exactly once.
+func TestPartialFailurePartitionDown(t *testing.T) {
+	gw, gwts, _, tss, _ := twoPartitions(t, nil)
+	client, err := schedd.NewClient(gwts.URL, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Learn the topology while both partitions are up, then kill one.
+	if _, err := client.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tss[1].Close()
+
+	_, err = client.Submit(ctx, job("R00"), job("R01"))
+	var pe *schedd.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *schedd.PartialError", err)
+	}
+	if pe.Resp.Accepted != 1 {
+		t.Fatalf("accepted %d, want 1", pe.Resp.Accepted)
+	}
+	down := pe.Resp.Outcomes[1]
+	if down.Status != http.StatusServiceUnavailable || down.Partition != 1 ||
+		!strings.Contains(down.Error, "unreachable") || down.RetryAfter != 1 {
+		t.Fatalf("down outcome = %+v, want synthetic 503 unreachable with retry_after 1", down)
+	}
+
+	// The failure is visible in the gateway's own metrics.
+	var buf strings.Builder
+	gw.Metrics().WriteTo(&buf)
+	sc, err := metrics.ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sc.Value(`gateway_partition_up{partition="1"}`); v != 0 {
+		t.Fatalf(`gateway_partition_up{partition="1"} = %v, want 0`, v)
+	}
+	if v, _ := sc.Value(`gateway_partition_up{partition="0"}`); v != 1 {
+		t.Fatalf(`gateway_partition_up{partition="0"} = %v, want 1`, v)
+	}
+	if sc.Sum("gateway_partition_errors_total") == 0 {
+		t.Fatal("gateway_partition_errors_total not incremented")
+	}
+}
+
+// TestBackpressureTaxonomyThroughGateway is the satellite-4 contract:
+// 429 quota, 429 rate, 503 capacity, and 413 oversize pass through the
+// gateway unmodified — status, JSON error message, and Retry-After —
+// on both wire protocols, through both the single-endpoint and the
+// failover client.
+func TestBackpressureTaxonomyThroughGateway(t *testing.T) {
+	tcfg, err := tenant.NewConfig([]tenant.Spec{
+		{Name: "q", QuotaJobsPerHour: 1},
+		{Name: "r", RatePerSec: 0.001, Burst: 1},
+		{Name: "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 24 * 5
+	set, cl, _ := mkWorld(t, horizon, 1, 1)
+	clock := &hourClock{}
+	wc := &wallClock{t: t0}
+	srv, err := schedd.New(set, cl, schedd.Config{
+		Policy: sched.FIFO{}, Horizon: horizon, MaxQueue: 4, Tenants: tcfg,
+		Partitions: 1, PartitionID: 0,
+	}, schedd.WithClock(clock.now), schedd.WithGateClock(wc.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	_, gwts := startGateway(t, [][]string{{ts.URL}})
+
+	single, err := schedd.NewClient(gwts.URL, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failover, err := schedd.NewFailoverClient([]string{gwts.URL}, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tj := func(tenantName, origin string) schedd.JobRequest {
+		return schedd.JobRequest{Origin: origin, Tenant: tenantName, LengthHours: 1, SlackHours: 48}
+	}
+
+	// Consume r's one rate token and q's one quota slot. The queue bound
+	// check runs before the tenant gate, so the queue is filled only
+	// after the rate and quota phase — each rejection is then hit
+	// deterministically by every combination.
+	if _, err := single.Submit(ctx, tj("r", "R00")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Submit(ctx, tj("q", "R00")); err != nil {
+		t.Fatal(err)
+	}
+
+	clients := []struct {
+		name string
+		c    *schedd.Client
+	}{{"single", single}, {"failover", failover}}
+	forEachCombo := func(phase string, check func(t *testing.T, submit func(context.Context, ...schedd.JobRequest) (schedd.SubmitResponse, error))) {
+		for _, cl := range clients {
+			for _, binary := range []bool{false, true} {
+				proto := "json"
+				submit := cl.c.Submit
+				if binary {
+					proto, submit = "binary", cl.c.SubmitBatch
+				}
+				t.Run(phase+"/"+cl.name+"/"+proto, func(t *testing.T) { check(t, submit) })
+			}
+		}
+	}
+
+	forEachCombo("gate", func(t *testing.T, submit func(context.Context, ...schedd.JobRequest) (schedd.SubmitResponse, error)) {
+		_, err := submit(ctx, tj("r", "R00"))
+		wantStatus(t, "rate", err, http.StatusTooManyRequests, "rate limited")
+		if got := httpx.RetryAfterOf(err); got != 1000 {
+			t.Fatalf("rate Retry-After = %d, want 1000", got)
+		}
+		_, err = submit(ctx, tj("q", "R00"))
+		wantStatus(t, "quota", err, http.StatusTooManyRequests, "quota exceeded")
+		if got := httpx.RetryAfterOf(err); got != 3600 {
+			t.Fatalf("quota Retry-After = %d, want 3600", got)
+		}
+	})
+
+	// The hints also ride the standard header for generic HTTP clients,
+	// re-stamped by the gateway from the partition's in-body hint.
+	resp, err := http.Post(gwts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"origin":"R00","tenant":"q","length_hours":1,"slack_hours":48}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") != "3600" {
+		t.Fatalf("raw quota rejection through gateway: status %d, Retry-After %q, want 429 / 3600",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Now fill the queue to its bound of 4 (two jobs are already
+	// outstanding) and pin capacity and oversize.
+	if _, err := single.Submit(ctx, tj("cap", "R00"), tj("cap", "R00")); err != nil {
+		t.Fatal(err)
+	}
+	forEachCombo("capacity", func(t *testing.T, submit func(context.Context, ...schedd.JobRequest) (schedd.SubmitResponse, error)) {
+		_, err := submit(ctx, tj("cap", "R00"))
+		wantStatus(t, "capacity", err, http.StatusServiceUnavailable, "queue full")
+		if got := httpx.RetryAfterOf(err); got != 1 {
+			t.Fatalf("capacity Retry-After = %d, want 1", got)
+		}
+		_, err = submit(ctx, schedd.JobRequest{Origin: strings.Repeat("x", httpx.MaxBody), LengthHours: 1})
+		wantStatus(t, "oversize", err, http.StatusRequestEntityTooLarge, "exceeds")
+		if got := httpx.RetryAfterOf(err); got != 0 {
+			t.Fatalf("413 Retry-After = %d, want none", got)
+		}
+	})
+}
+
+// TestFleetStatsMerge: GET /v1/stats on the gateway is the fleet-wide
+// view — counters summed, clusters concatenated, tenants merged — plus
+// the coverage block; losing a partition degrades it to a partial view
+// rather than an error.
+func TestFleetStatsMerge(t *testing.T) {
+	_, gwts, _, tss, _ := twoPartitions(t, nil)
+	client, err := schedd.NewClient(gwts.URL, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := client.Submit(ctx, job("R00"), job("R00"), job("R00")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Submit(ctx, job("R01"), job("R01")); err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func() StatsResponse {
+		t.Helper()
+		resp, err := http.Get(gwts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/stats status %d", resp.StatusCode)
+		}
+		var out StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	st := fetch()
+	if st.Submitted != 5 {
+		t.Fatalf("merged submitted = %d, want 5", st.Submitted)
+	}
+	if len(st.Clusters) != 2 {
+		t.Fatalf("merged clusters = %+v, want both partitions'", st.Clusters)
+	}
+	if st.Gateway.Partitions != 2 || len(st.Gateway.Reached) != 2 || len(st.Gateway.Missing) != 0 {
+		t.Fatalf("coverage block = %+v, want full coverage of 2", st.Gateway)
+	}
+	if st.Policy != "fifo" {
+		t.Fatalf("merged policy = %q, want fifo", st.Policy)
+	}
+
+	// One partition down: still 200, explicitly partial.
+	tss[1].Close()
+	st = fetch()
+	if st.Submitted != 3 {
+		t.Fatalf("partial submitted = %d, want partition 0's 3", st.Submitted)
+	}
+	if len(st.Gateway.Missing) != 1 || st.Gateway.Missing[0] != 1 {
+		t.Fatalf("coverage block = %+v, want missing=[1]", st.Gateway)
+	}
+
+	// Both down: now it is an error, shaped as retryable backpressure.
+	tss[0].Close()
+	resp, err := http.Get(gwts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("all-down stats: status %d Retry-After %q, want 503 / 1", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestFleetMetricsMerge: GET /metrics on the gateway is one exposition
+// — gateway_* families plus every partition's families folded together
+// (counters summed, clock-like gauges maxed), each family declared
+// exactly once.
+func TestFleetMetricsMerge(t *testing.T) {
+	_, gwts, _, _, clock := twoPartitions(t, nil)
+	client, err := schedd.NewClient(gwts.URL, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := client.Submit(ctx, job("R00"), job("R00"), job("R00")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Submit(ctx, job("R01"), job("R01")); err != nil {
+		t.Fatal(err)
+	}
+	clock.hour.Store(3)
+	if _, err := client.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(gwts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	sc, err := metrics.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("merged exposition does not parse: %v", err)
+	}
+	if v, ok := sc.Value("schedd_jobs_submitted_total"); !ok || v != 5 {
+		t.Fatalf("summed schedd_jobs_submitted_total = %v, want 5", v)
+	}
+	if v, ok := sc.Value("schedd_fleet_hour"); !ok || v != 3 {
+		t.Fatalf("maxed schedd_fleet_hour = %v, want 3", v)
+	}
+	if v, ok := sc.Value("gateway_partitions"); !ok || v != 2 {
+		t.Fatalf("gateway_partitions = %v, want 2", v)
+	}
+	if sc.Sum("gateway_proxied_submits_total") != 2 {
+		t.Fatalf("gateway_proxied_submits_total = %v, want 2", sc.Sum("gateway_proxied_submits_total"))
+	}
+	for _, family := range []string{"schedd_jobs_submitted_total", "http_requests_total", "gateway_partition_up"} {
+		if n := strings.Count(text, "# TYPE "+family+" "); n != 1 {
+			t.Fatalf("family %s declared %d times in the merge, want once", family, n)
+		}
+	}
+}
+
+// TestJobLookupRouting: GET /v1/jobs/{id} routes by the partitions'
+// disjoint id ranges (learned from their stats echoes), falls back to
+// fan-out, and answers 404 only after every partition has denied the id.
+func TestJobLookupRouting(t *testing.T) {
+	_, gwts, _, _, _ := twoPartitions(t, nil)
+	client, err := schedd.NewClient(gwts.URL, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a, err := client.Submit(ctx, job("R00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.Submit(ctx, job("R01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IDs[0] == b.IDs[0] {
+		t.Fatalf("partitions assigned the same id %d: ranges not disjoint", a.IDs[0])
+	}
+	for _, want := range []struct {
+		id     int
+		origin string
+	}{{a.IDs[0], "R00"}, {b.IDs[0], "R01"}} {
+		got, err := client.Job(ctx, want.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.id || got.Origin != want.origin {
+			t.Fatalf("job %d = %+v, want origin %s", want.id, got, want.origin)
+		}
+	}
+	_, err = client.Job(ctx, 424242)
+	wantStatus(t, "unknown id", err, http.StatusNotFound, "unknown job")
+}
+
+// TestSubmitAllPartitionsDown: with no partition reachable the gateway
+// answers 503 with a Retry-After, never a hang or a 5xx surprise.
+func TestSubmitAllPartitionsDown(t *testing.T) {
+	_, gwts := startGateway(t, [][]string{{"http://127.0.0.1:9"}, {"http://127.0.0.1:9"}})
+	client, err := schedd.NewClient(gwts.URL, gwts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Submit(context.Background(), job("R00"))
+	wantStatus(t, "all down", err, http.StatusServiceUnavailable, "no partition reachable")
+	if got := httpx.RetryAfterOf(err); got != 1 {
+		t.Fatalf("Retry-After = %d, want 1", got)
+	}
+}
+
+// TestMergerUnit pins the exposition merger's aggregation rules
+// directly: sum by default, max for the clock-like families, comments
+// deduplicated, first-seen order preserved.
+func TestMergerUnit(t *testing.T) {
+	m := newExpositionMerger()
+	m.absorb([]byte(`# HELP schedd_jobs_submitted_total Jobs.
+# TYPE schedd_jobs_submitted_total counter
+schedd_jobs_submitted_total 3
+schedd_fleet_hour 7
+schedd_backpressure_total{reason="queue_full"} 2
+`))
+	m.absorb([]byte(`# HELP schedd_jobs_submitted_total Jobs.
+# TYPE schedd_jobs_submitted_total counter
+schedd_jobs_submitted_total 4
+schedd_fleet_hour 5
+schedd_backpressure_total{reason="queue_full"} 1
+schedd_backpressure_total{reason="job_limit"} 9
+`))
+	var b strings.Builder
+	m.writeTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"schedd_jobs_submitted_total 7\n",
+		"schedd_fleet_hour 7\n",
+		`schedd_backpressure_total{reason="queue_full"} 3` + "\n",
+		`schedd_backpressure_total{reason="job_limit"} 9` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE schedd_jobs_submitted_total"); n != 1 {
+		t.Fatalf("TYPE line appears %d times, want 1", n)
+	}
+}

@@ -80,12 +80,13 @@ func (e *Endpoints) rotateFrom(base string) {
 
 // redirect jumps to the primary a 421 response hinted at, learning it
 // if it was not configured. Invalid hints fall back to a plain
-// rotation.
-func (e *Endpoints) redirect(from, primary string) {
+// rotation. It reports whether the endpoint set grew, so Do can widen
+// a retry budget computed before the hint arrived.
+func (e *Endpoints) redirect(from, primary string) bool {
 	u, err := url.Parse(primary)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		e.rotateFrom(from)
-		return
+		return false
 	}
 	target := u.String()
 	e.mu.Lock()
@@ -93,11 +94,12 @@ func (e *Endpoints) redirect(from, primary string) {
 	for i, b := range e.bases {
 		if b == target {
 			e.cur = i
-			return
+			return false
 		}
 	}
 	e.bases = append(e.bases, target)
 	e.cur = len(e.bases) - 1
+	return true
 }
 
 // isDialError reports a failure that happened before any request byte
@@ -209,7 +211,12 @@ func (e *Endpoints) Do(ctx context.Context, hc *http.Client, method, path, conte
 			}
 			json.Unmarshal(respBody, &hint)
 			lastErr = fmt.Errorf("%s: %s: misdirected: %s", prefix, base, hint.Error)
-			e.redirect(base, hint.Primary)
+			if e.redirect(base, hint.Primary) {
+				// The hint taught us a new endpoint after the attempt
+				// budget was sized; widen it so the learned primary is
+				// guaranteed its turns before we give up.
+				attempts = 2 * e.Len()
+			}
 			continue
 		case idempotent && resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable:
 			// 5xx on a read = this endpoint is broken; try another. 503

@@ -206,6 +206,43 @@ func TestFailover421Loop(t *testing.T) {
 	}
 }
 
+// TestRedirectGrowsAttemptBudget is the regression test for the stale
+// failover bound: Do used to size its attempt budget (2 * Len) once,
+// before any 421 hint could teach it new endpoints, so a primary
+// learned late in the pass could exhaust the budget without ever being
+// tried. With one configured endpoint the old budget allowed 3
+// attempts; a redirect chain of three followers needs a 4th to reach
+// the real primary, so this chain only resolves when the budget is
+// recomputed as the endpoint set grows.
+func TestRedirectGrowsAttemptBudget(t *testing.T) {
+	primary := jsonServer(t, "primary", ok, nil)
+	hop := primary.URL
+	var chain []*httptest.Server
+	for i := 0; i < 3; i++ {
+		next := hop
+		f := jsonServer(t, "follower",
+			func() int { return http.StatusMisdirectedRequest },
+			func() string { return next })
+		chain = append(chain, f)
+		hop = f.URL
+	}
+
+	e, err := NewEndpoints([]string{chain[len(chain)-1].URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out echo
+	if err := e.DoJSON(context.Background(), nil, http.MethodPost, "/x", echo{Name: "req"}, "test", &out); err != nil {
+		t.Fatalf("redirect chain not followed to the primary: %v", err)
+	}
+	if out.Name != "primary" {
+		t.Fatalf("answered by %q, want the chained primary", out.Name)
+	}
+	if e.Len() != 4 || e.Current() != primary.URL {
+		t.Fatalf("chain not learned: len=%d current=%s", e.Len(), e.Current())
+	}
+}
+
 // TestDoJSONBodyResent: the request body is re-sent on each attempt,
 // not consumed by the first failed one.
 func TestDoJSONBodyResent(t *testing.T) {

@@ -18,9 +18,12 @@ import (
 const MaxBody = 16 << 20
 
 // errorBody is the shared {"error": ...} wire shape every service uses
-// for non-200 responses.
+// for non-200 responses. Backpressure rejections also carry the
+// Retry-After hint in-body, so it survives any proxy or client hop
+// that only preserves the JSON shape.
 type errorBody struct {
-	Error string `json:"error"`
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after,omitempty"`
 }
 
 // StatusError is the typed form of every non-200 response error
@@ -34,6 +37,9 @@ type StatusError struct {
 	StatusCode int
 	// Message is the fully formatted error text.
 	Message string
+	// RetryAfter is the server's backpressure hint in seconds (the
+	// Retry-After header / retry_after body field), 0 when absent.
+	RetryAfter int
 }
 
 func (e *StatusError) Error() string { return e.Message }
@@ -44,6 +50,16 @@ func StatusCodeOf(err error) int {
 	var se *StatusError
 	if errors.As(err, &se) {
 		return se.StatusCode
+	}
+	return 0
+}
+
+// RetryAfterOf returns the Retry-After hint in seconds carried by err
+// (directly or wrapped), or 0 when err has none.
+func RetryAfterOf(err error) int {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
 	}
 	return 0
 }
@@ -119,7 +135,11 @@ func DecodeResponse(statusCode int, status string, body []byte, prefix string, o
 	if statusCode != http.StatusOK {
 		var apiErr errorBody
 		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return &StatusError{StatusCode: statusCode, Message: fmt.Sprintf("%s: %s: %s", prefix, status, apiErr.Error)}
+			return &StatusError{
+				StatusCode: statusCode,
+				Message:    fmt.Sprintf("%s: %s: %s", prefix, status, apiErr.Error),
+				RetryAfter: apiErr.RetryAfter,
+			}
 		}
 		return &StatusError{StatusCode: statusCode, Message: fmt.Sprintf("%s: unexpected status %s", prefix, status)}
 	}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SetRegionGroups partitions the fleet's regions into disjoint
+// contention groups: slot spillover (deadline forcing of migratable
+// jobs) and policy placement never cross a group boundary, and each
+// Step runs the policy once per group over a group-local Tick (that
+// group's regions, free slots, and eligible jobs, in global submission
+// order). A job belongs to its origin's group for its whole life.
+//
+// This is the scheduling-level contract behind service partitioning:
+// a grouped fleet over the full world produces, region group by region
+// group, exactly the placements that independent fleets over each
+// group's sub-world would produce for the same arrival order — slot
+// contention cannot cross a boundary, the per-hour carbon intensities
+// seen by a group depend only on its own traces, and the five shipped
+// policies are stateless between Plan calls. TestRegionGroupEquivalence
+// pins that argument.
+//
+// Every fleet region must appear in exactly one non-empty group. The
+// call must happen before the first Submit or Step (same contract as
+// SetFairQueue); when restoring with Unmarshal, set the groups first
+// and only restore snapshots taken under the same grouping. The
+// default — no call — is a single group holding every region, which is
+// byte-identical to the ungrouped behavior.
+func (f *ShardedFleet) SetRegionGroups(groups [][]string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hour != 0 || f.submitted.Load() != 0 {
+		return fmt.Errorf("sched: SetRegionGroups after first Submit or Step")
+	}
+	if len(groups) == 0 {
+		return fmt.Errorf("sched: no region groups")
+	}
+	groupOf := make([]int, len(f.regionsList))
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	regions := make([][]int, len(groups))
+	names := make([][]string, len(groups))
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return fmt.Errorf("sched: region group %d is empty", gi)
+		}
+		for _, r := range g {
+			ri, ok := f.regionIdx[r]
+			if !ok {
+				return fmt.Errorf("sched: region group %d names unknown region %q", gi, r)
+			}
+			if groupOf[ri] != -1 {
+				return fmt.Errorf("sched: region %q in more than one group", r)
+			}
+			groupOf[ri] = gi
+			regions[gi] = append(regions[gi], ri)
+		}
+		sort.Ints(regions[gi])
+		for _, ri := range regions[gi] {
+			names[gi] = append(names[gi], f.regionsList[ri])
+		}
+	}
+	for ri, gi := range groupOf {
+		if gi == -1 {
+			return fmt.Errorf("sched: region %q not in any group", f.regionsList[ri])
+		}
+	}
+	f.groupOf = groupOf
+	f.groupRegions = regions
+	f.groupNames = names
+	return nil
+}
+
+// RegionGroups returns the configured groups as sorted region-name
+// lists, in group order. With no SetRegionGroups call it is the single
+// implicit group of every region.
+func (f *ShardedFleet) RegionGroups() [][]string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([][]string, len(f.groupNames))
+	for gi, g := range f.groupNames {
+		out[gi] = append([]string(nil), g...)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// groupSplit slices the 8 mkWideSet regions into n contiguous groups.
+func groupSplit(origins []string, n int) [][]string {
+	groups := make([][]string, n)
+	for i, r := range origins {
+		groups[i%n] = append(groups[i%n], r)
+	}
+	return groups
+}
+
+// TestRegionGroupEquivalence is the scheduling half of the partitioned
+// service's correctness argument: a grouped ShardedFleet over the full
+// world must produce, group by group, exactly the placements and
+// outcomes that independent fleets over each group's sub-world produce
+// for the same jobs in the same arrival order. With that, routing a
+// region group to its own schedd partition cannot change a single
+// placement.
+func TestRegionGroupEquivalence(t *testing.T) {
+	const horizon = 24 * 10
+	set, cl, origins := mkWideSet(t, horizon, 8)
+	jobs, err := GenerateJobs(WorkloadSpec{
+		Jobs:              280,
+		ArrivalSpan:       24 * 8,
+		SlackHours:        24,
+		InterruptibleFrac: 0.6,
+		MigratableFrac:    0.5,
+		Origins:           origins,
+		Seed:              17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Length > 30 {
+			jobs[i].Length = 30
+		}
+	}
+
+	type placeRec struct {
+		hour, job int
+		region    string
+	}
+	for _, policy := range allPolicies() {
+		for _, n := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/groups=%d", policy.Name(), n), func(t *testing.T) {
+				groups := groupSplit(origins, n)
+				groupOf := map[string]int{}
+				for gi, g := range groups {
+					for _, r := range g {
+						groupOf[r] = gi
+					}
+				}
+
+				// The grouped full-world fleet.
+				grouped, err := NewShardedFleet(set, cl, policy, horizon, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := grouped.SetRegionGroups(groups); err != nil {
+					t.Fatal(err)
+				}
+				gotLog := make([][]placeRec, n)
+				grouped.OnPlace = func(hour, jobID int, region string) {
+					gi := groupOf[region]
+					gotLog[gi] = append(gotLog[gi], placeRec{hour, jobID, region})
+				}
+				if err := grouped.Submit(jobs...); err != nil {
+					t.Fatal(err)
+				}
+				driveFleet(t, grouped)
+				gotOutcomes := make(map[int][]Outcome, n)
+				for _, o := range grouped.Snapshot().Outcomes {
+					gi := groupOf[o.Origin]
+					gotOutcomes[gi] = append(gotOutcomes[gi], o)
+				}
+
+				// One independent, ungrouped fleet per sub-world, fed
+				// only its group's jobs in the same relative order.
+				for gi, g := range groups {
+					inGroup := map[string]bool{}
+					var subCl []Cluster
+					for _, c := range cl {
+						if groupOf[c.Region] == gi {
+							subCl = append(subCl, c)
+							inGroup[c.Region] = true
+						}
+					}
+					var subJobs []Job
+					for _, j := range jobs {
+						if inGroup[j.Origin] {
+							subJobs = append(subJobs, j)
+						}
+					}
+					sub, err := NewShardedFleet(set, subCl, policy, horizon, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var subLog []placeRec
+					sub.OnPlace = func(hour, jobID int, region string) {
+						subLog = append(subLog, placeRec{hour, jobID, region})
+					}
+					if err := sub.Submit(subJobs...); err != nil {
+						t.Fatal(err)
+					}
+					driveFleet(t, sub)
+					if !reflect.DeepEqual(gotLog[gi], subLog) {
+						t.Fatalf("group %d (%v): placement log differs: %d grouped records vs %d independent",
+							gi, g, len(gotLog[gi]), len(subLog))
+					}
+					if subOut := sub.Snapshot().Outcomes; !reflect.DeepEqual(gotOutcomes[gi], subOut) {
+						t.Fatalf("group %d (%v): outcomes differ: %d grouped vs %d independent",
+							gi, g, len(gotOutcomes[gi]), len(subOut))
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSetRegionGroupsValidation(t *testing.T) {
+	set, cl, origins := mkWideSet(t, 48, 4)
+	mk := func() *ShardedFleet {
+		f, err := NewShardedFleet(set, cl, FIFO{}, 48, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	cases := []struct {
+		name   string
+		groups [][]string
+		want   string
+	}{
+		{"empty", nil, "no region groups"},
+		{"empty group", [][]string{origins, {}}, "is empty"},
+		{"unknown region", [][]string{{"R00", "R01"}, {"R02", "NOPE"}}, "unknown region"},
+		{"overlap", [][]string{{"R00", "R01"}, {"R01", "R02", "R03"}}, "more than one group"},
+		{"uncovered", [][]string{{"R00", "R01"}, {"R02"}}, "not in any group"},
+	}
+	for _, tc := range cases {
+		f := mk()
+		err := f.SetRegionGroups(tc.groups)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+
+	f := mk()
+	if err := f.SetRegionGroups([][]string{{"R01", "R00"}, {"R03", "R02"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.RegionGroups(); !reflect.DeepEqual(got, [][]string{{"R00", "R01"}, {"R02", "R03"}}) {
+		t.Fatalf("RegionGroups = %v", got)
+	}
+	if err := f.Submit(Job{ID: 1, Origin: "R00", Arrival: 0, Length: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetRegionGroups([][]string{origins}); err == nil ||
+		!strings.Contains(err.Error(), "after first Submit") {
+		t.Errorf("late SetRegionGroups: err = %v", err)
+	}
+}

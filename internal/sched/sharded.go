@@ -56,6 +56,14 @@ type ShardedFleet struct {
 	totalSlots  int
 	shardOf     []int // region index -> owning shard
 
+	// Region contention groups (SetRegionGroups). The default is one
+	// group holding every region; with more, spillover and policy
+	// placement never cross a group boundary and the policy runs once
+	// per group. All three are config, fixed before the first Submit.
+	groupOf      []int   // region index -> group index
+	groupRegions [][]int // group index -> sorted region indices
+	groupNames   [][]string
+
 	shards []*fleetShard
 
 	// mu is the world lock: Step (and the serial reconciliation inside
@@ -227,6 +235,13 @@ func NewShardedFleet(set *trace.Set, clusters []Cluster, policy Policy, horizon,
 		f.shards[si].regions = append(f.shards[si].regions, i)
 	}
 	f.mergeIdx = make([]int, shards)
+	f.groupOf = make([]int, len(f.regionsList))
+	all := make([]int, len(f.regionsList))
+	for i := range all {
+		all[i] = i
+	}
+	f.groupRegions = [][]int{all}
+	f.groupNames = [][]string{f.regionsList}
 	return f, nil
 }
 
@@ -493,9 +508,9 @@ func (f *ShardedFleet) Step() error {
 
 	// Phase 2 (serial): deadline forcing in global submission order —
 	// a job with no slack left must run now, in its current/origin
-	// region or (if migratable) the first region with space. This is
-	// where cross-shard slot stealing happens, so it cannot be
-	// parallelized without changing outcomes.
+	// region or (if migratable) the first region with space inside its
+	// own contention group. This is where cross-shard slot stealing
+	// happens, so it cannot be parallelized without changing outcomes.
 	pool := f.mergeShards(f.poolBuf, func(sh *fleetShard) []*sstate { return sh.pool })
 	f.poolBuf = pool
 	for _, st := range pool {
@@ -508,7 +523,7 @@ func (f *ShardedFleet) Step() error {
 			ri = st.originI
 		}
 		if f.free[ri] <= 0 && st.Migratable {
-			for j := range f.regionsList {
+			for _, j := range f.groupRegions[f.groupOf[ri]] {
 				if f.free[j] > 0 {
 					ri = j
 					break
@@ -521,65 +536,74 @@ func (f *ShardedFleet) Step() error {
 		}
 	}
 
-	// Phase 3 (serial): the policy's global placement pass over the
-	// flexible remainder, with exactly the Tick the serial Fleet builds.
-	freeSlots := make(map[string]int, len(f.regionsList))
-	for i, r := range f.regionsList {
-		freeSlots[r] = f.free[i]
-	}
-	tick := &Tick{
-		Hour:    hour,
-		Regions: f.regionsList,
-		CI:      func(region string) float64 { return f.set.MustGet(region).At(hour) },
-		Lookback: func(region string, n int) []float64 {
-			lo := hour - n
-			if lo < 0 {
-				lo = 0
+	// Phase 3 (serial): the policy's placement pass over the flexible
+	// remainder, once per contention group with a group-local Tick. In
+	// the default single-group configuration this is exactly the Tick
+	// the serial Fleet builds; with more groups, each group sees only
+	// its own regions, free slots, and eligible jobs (still in global
+	// submission order), so placements can never cross a boundary.
+	for gi, regs := range f.groupRegions {
+		freeSlots := make(map[string]int, len(regs))
+		for _, ri := range regs {
+			freeSlots[f.regionsList[ri]] = f.free[ri]
+		}
+		tick := &Tick{
+			Hour:    hour,
+			Regions: f.groupNames[gi],
+			CI:      func(region string) float64 { return f.set.MustGet(region).At(hour) },
+			Lookback: func(region string, n int) []float64 {
+				lo := hour - n
+				if lo < 0 {
+					lo = 0
+				}
+				return f.set.MustGet(region).CI[lo:hour]
+			},
+			FreeSlots: freeSlots,
+		}
+		for _, st := range pool {
+			if st.placed >= 0 || f.groupOf[st.originI] != gi {
+				continue
 			}
-			return f.set.MustGet(region).CI[lo:hour]
-		},
-		FreeSlots: freeSlots,
-	}
-	for _, st := range pool {
-		if st.placed >= 0 {
-			continue
+			tick.Eligible = append(tick.Eligible, JobView{
+				ID:              st.ID,
+				Origin:          st.Origin,
+				Tenant:          st.Tenant,
+				Remaining:       st.Length - st.progress,
+				HoursToDeadline: st.Deadline() - hour,
+				Interruptible:   st.Interruptible,
+				Migratable:      st.Migratable,
+			})
 		}
-		tick.Eligible = append(tick.Eligible, JobView{
-			ID:              st.ID,
-			Origin:          st.Origin,
-			Tenant:          st.Tenant,
-			Remaining:       st.Length - st.progress,
-			HoursToDeadline: st.Deadline() - hour,
-			Interruptible:   st.Interruptible,
-			Migratable:      st.Migratable,
-		})
-	}
-	tick.Eligible = fairOrder(f.fq, tick.Eligible)
-	// No idMu here: Step holds the exclusive world lock, and every
-	// byID writer first takes the shared world lock.
-	for _, p := range f.policy.Plan(tick) {
-		st, ok := f.byID[p.JobID]
-		if !ok {
-			return fmt.Errorf("sched: policy %s placed unknown job %d", f.policy.Name(), p.JobID)
+		tick.Eligible = fairOrder(f.fq, tick.Eligible)
+		// No idMu here: Step holds the exclusive world lock, and every
+		// byID writer first takes the shared world lock.
+		for _, p := range f.policy.Plan(tick) {
+			st, ok := f.byID[p.JobID]
+			if !ok {
+				return fmt.Errorf("sched: policy %s placed unknown job %d", f.policy.Name(), p.JobID)
+			}
+			if st.done || st.Arrival > hour {
+				return fmt.Errorf("sched: policy %s placed ineligible job %d", f.policy.Name(), p.JobID)
+			}
+			if st.placed >= 0 {
+				return fmt.Errorf("sched: policy %s double-placed job %d", f.policy.Name(), p.JobID)
+			}
+			ri, ok := f.regionIdx[p.Region]
+			if !ok {
+				return fmt.Errorf("sched: policy %s used unknown region %q", f.policy.Name(), p.Region)
+			}
+			if !st.Migratable && p.Region != st.Origin {
+				return fmt.Errorf("sched: policy %s migrated pinned job %d", f.policy.Name(), st.ID)
+			}
+			if f.groupOf[ri] != gi || f.groupOf[st.originI] != gi {
+				return fmt.Errorf("sched: policy %s placed job %d across region-group boundary into %s", f.policy.Name(), st.ID, p.Region)
+			}
+			if f.free[ri] <= 0 {
+				return fmt.Errorf("sched: policy %s oversubscribed region %s", f.policy.Name(), p.Region)
+			}
+			st.placed = ri
+			f.free[ri]--
 		}
-		if st.done || st.Arrival > hour {
-			return fmt.Errorf("sched: policy %s placed ineligible job %d", f.policy.Name(), p.JobID)
-		}
-		if st.placed >= 0 {
-			return fmt.Errorf("sched: policy %s double-placed job %d", f.policy.Name(), p.JobID)
-		}
-		ri, ok := f.regionIdx[p.Region]
-		if !ok {
-			return fmt.Errorf("sched: policy %s used unknown region %q", f.policy.Name(), p.Region)
-		}
-		if !st.Migratable && p.Region != st.Origin {
-			return fmt.Errorf("sched: policy %s migrated pinned job %d", f.policy.Name(), st.ID)
-		}
-		if f.free[ri] <= 0 {
-			return fmt.Errorf("sched: policy %s oversubscribed region %s", f.policy.Name(), p.Region)
-		}
-		st.placed = ri
-		f.free[ri]--
 	}
 
 	// Phase 4 (parallel): advance the world. Every job's mutation is

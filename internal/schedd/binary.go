@@ -419,7 +419,7 @@ func (s *Server) handleSubmitBinary(w http.ResponseWriter, r *http.Request) {
 	}
 	arrival, journal, seq, status, err := s.admit(ctx, b.jobs, b.auto, b.ids)
 	if err != nil {
-		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		s.writeAdmitError(w, status, err)
 		return
 	}
 	if journal != nil {

@@ -79,6 +79,8 @@ func (c *Client) Endpoint() string {
 }
 
 // Submit submits one or more jobs and returns the acknowledgement.
+// Against a gateway that split the batch across partitions, a partial
+// outcome surfaces as a *PartialError carrying the admitted ids.
 func (c *Client) Submit(ctx context.Context, jobs ...JobRequest) (SubmitResponse, error) {
 	if len(jobs) == 0 {
 		return SubmitResponse{}, fmt.Errorf("schedd: no jobs to submit")
@@ -87,11 +89,52 @@ func (c *Client) Submit(ctx context.Context, jobs ...JobRequest) (SubmitResponse
 	if len(jobs) > 1 {
 		payload = SubmitRequest{Jobs: jobs}
 	}
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return SubmitResponse{}, fmt.Errorf("schedd: encoding request: %w", err)
+	}
 	var out SubmitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", payload, &out); err != nil {
+	decode := func(statusCode int, status string, body []byte) error {
+		return decodeSubmitAck(statusCode, status, body, func(b []byte) error {
+			if err := json.Unmarshal(b, &out); err != nil {
+				return fmt.Errorf("schedd: decoding response: %w", err)
+			}
+			return nil
+		})
+	}
+	if c.eps != nil {
+		if err := c.eps.Do(ctx, c.hc, http.MethodPost, "/v1/jobs", "application/json", buf, "schedd", decode); err != nil {
+			return SubmitResponse{}, err
+		}
+		return out, nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(buf))
+	if err != nil {
+		return SubmitResponse{}, fmt.Errorf("schedd: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if err := httpx.DoRaw(c.hc, req, "schedd", decode); err != nil {
 		return SubmitResponse{}, err
 	}
 	return out, nil
+}
+
+// decodeSubmitAck maps a submit response: 200 through ok (the
+// protocol-specific ack decoder), 207 into a *PartialError, everything
+// else through the shared error mapping. 207 sits on the Endpoints
+// failover path's default branch, so a partial outcome is never
+// replayed against another endpoint.
+func decodeSubmitAck(statusCode int, status string, body []byte, ok func([]byte) error) error {
+	switch statusCode {
+	case http.StatusOK:
+		return ok(body)
+	case http.StatusMultiStatus:
+		var ms MultiStatusResponse
+		if err := json.Unmarshal(body, &ms); err == nil && len(ms.Outcomes) > 0 {
+			return &PartialError{Resp: ms}
+		}
+	}
+	return httpx.DecodeResponse(statusCode, status, body, "schedd", nil)
 }
 
 // SubmitBatch submits jobs over the binary batch protocol (POST
@@ -114,15 +157,14 @@ func (c *Client) SubmitBatch(ctx context.Context, jobs ...JobRequest) (SubmitRes
 	payload := appendBinarySubmit(nil, jobs)
 	var out SubmitResponse
 	decode := func(statusCode int, status string, body []byte) error {
-		if statusCode != http.StatusOK {
-			return httpx.DecodeResponse(statusCode, status, body, "schedd", nil)
-		}
-		resp, err := decodeBinaryAck(body)
-		if err != nil {
-			return fmt.Errorf("schedd: %w", err)
-		}
-		out = resp
-		return nil
+		return decodeSubmitAck(statusCode, status, body, func(b []byte) error {
+			resp, err := decodeBinaryAck(b)
+			if err != nil {
+				return fmt.Errorf("schedd: %w", err)
+			}
+			out = resp
+			return nil
+		})
 	}
 	if c.eps != nil {
 		if err := c.eps.Do(ctx, c.hc, http.MethodPost, "/v1/jobs/batch", BinaryContentType, payload, "schedd", decode); err != nil {

@@ -1,0 +1,64 @@
+package schedd
+
+// Exported wrappers over the submit codecs, for proxies that speak the
+// service's wire protocols without being the service — internal/gateway
+// decodes an incoming batch (either protocol), re-encodes per-partition
+// sub-batches, and reassembles acks, all through this surface, so the
+// gateway can never drift from the formats the server itself uses.
+
+import "io"
+
+// DecodeSubmit parses a POST /v1/jobs JSON payload — a bare JobRequest
+// or {"jobs": [...]} — with exactly the server's validation (empty
+// batches and trailing data rejected).
+func DecodeSubmit(r io.Reader) ([]JobRequest, error) {
+	return decodeSubmit(r)
+}
+
+// DecodeBinarySubmit parses a POST /v1/jobs/batch binary frame into
+// the protocol-independent batch form. Jobs without an explicit id
+// come back with a nil ID, mirroring the JSON shape.
+func DecodeBinarySubmit(r io.Reader) ([]JobRequest, error) {
+	b := &binBatch{}
+	if err := readBinaryFrame(r, binReqMagic, b); err != nil {
+		return nil, err
+	}
+	intern := func(p []byte) string { return string(p) }
+	if err := decodeBinaryJobs(b, intern, intern); err != nil {
+		return nil, err
+	}
+	out := make([]JobRequest, len(b.jobs))
+	for i := range b.jobs {
+		j := &b.jobs[i]
+		out[i] = JobRequest{
+			Origin:        j.Origin,
+			Tenant:        j.Tenant,
+			LengthHours:   j.Length,
+			SlackHours:    j.Slack,
+			Interruptible: j.Interruptible,
+			Migratable:    j.Migratable,
+		}
+		if !b.auto[i] {
+			id := j.ID
+			out[i].ID = &id
+		}
+	}
+	return out, nil
+}
+
+// AppendBinarySubmit appends a binary submit frame for the batch —
+// the encoding Client.SubmitBatch puts on the wire.
+func AppendBinarySubmit(buf []byte, jobs []JobRequest) []byte {
+	return appendBinarySubmit(buf, jobs)
+}
+
+// AppendBinaryAck appends the 200 ack frame for an admitted batch.
+func AppendBinaryAck(buf []byte, arrival int, ids []int) []byte {
+	return appendBinaryAck(buf, arrival, ids)
+}
+
+// DecodeBinaryAck parses an ack frame into the JSON route's response
+// shape.
+func DecodeBinaryAck(data []byte) (SubmitResponse, error) {
+	return decodeBinaryAck(data)
+}

@@ -1,0 +1,85 @@
+package schedd
+
+// The partial-outcome half of the submit protocol, spoken between
+// internal/gateway and the typed clients. A gateway that split a batch
+// across partitions can see some sub-batches admitted and others
+// rejected; collapsing that into one status would either double-count
+// (the client retries jobs that WERE admitted) or lose the rejection
+// reasons. Instead the gateway answers 207 Multi-Status with one
+// outcome per submitted job, and the clients surface it as a
+// *PartialError so callers can account for the acked ids exactly once
+// and retry or tally only the failures.
+//
+// The types live here, not in internal/gateway, because they are wire
+// protocol: Client.Submit and Client.SubmitBatch must decode them, and
+// the gateway imports this package for every other frame it speaks.
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// JobOutcome is one job's result inside a 207 Multi-Status response,
+// in batch order. Status is the HTTP status the owning partition
+// answered for the job's sub-batch: 200 with the assigned ID on
+// admission, otherwise the partition's rejection status with its error
+// message and Retry-After hint.
+type JobOutcome struct {
+	ID         int    `json:"id,omitempty"`
+	Partition  int    `json:"partition"`
+	Status     int    `json:"status"`
+	Error      string `json:"error,omitempty"`
+	RetryAfter int    `json:"retry_after,omitempty"`
+}
+
+// MultiStatusResponse is the 207 body: per-job outcomes in the order
+// the batch was submitted, plus the aggregate ack fields for the jobs
+// that were admitted.
+type MultiStatusResponse struct {
+	ArrivalHour int          `json:"arrival_hour"`
+	Accepted    int          `json:"accepted"`
+	Outcomes    []JobOutcome `json:"outcomes"`
+}
+
+// PartialError is how the typed clients surface a 207: an error (the
+// batch did not fully succeed) that still carries every admitted id,
+// so no acked job is ever lost or re-submitted.
+type PartialError struct {
+	Resp MultiStatusResponse
+}
+
+func (e *PartialError) Error() string {
+	failed := len(e.Resp.Outcomes) - e.Resp.Accepted
+	for _, o := range e.Resp.Outcomes {
+		if o.Status != http.StatusOK {
+			return fmt.Sprintf("schedd: partial batch: %d/%d jobs rejected (first: status %d: %s)",
+				failed, len(e.Resp.Outcomes), o.Status, o.Error)
+		}
+	}
+	return fmt.Sprintf("schedd: partial batch: %d/%d jobs rejected", failed, len(e.Resp.Outcomes))
+}
+
+// AckedIDs returns the ids of the jobs that WERE admitted, in batch
+// order.
+func (e *PartialError) AckedIDs() []int {
+	var ids []int
+	for _, o := range e.Resp.Outcomes {
+		if o.Status == http.StatusOK {
+			ids = append(ids, o.ID)
+		}
+	}
+	return ids
+}
+
+// MaxRetryAfter returns the largest Retry-After hint across the failed
+// outcomes (0 when none carried one) — the pacing bound for retrying
+// the whole batch.
+func (e *PartialError) MaxRetryAfter() int {
+	after := 0
+	for _, o := range e.Resp.Outcomes {
+		if o.RetryAfter > after {
+			after = o.RetryAfter
+		}
+	}
+	return after
+}

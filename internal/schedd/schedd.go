@@ -107,6 +107,22 @@ type Config struct {
 	// server's trace set for offline baselines.
 	Seed uint64
 
+	// Speedup is the replay speed (trace seconds per wall second, as in
+	// cmd/schedd's -speedup flag); it converts the remainder of the
+	// current fleet hour into the wall-clock Retry-After hint on 429
+	// quota rejections. 0 means real time.
+	Speedup float64
+
+	// PartitionID, Partitions, and IDBase describe this server's place
+	// in a gateway-fronted partitioned fleet: with Partitions > 0 the
+	// identity is echoed in /v1/stats (so internal/gateway can learn
+	// the topology from the servers themselves) and auto-assigned job
+	// ids start at IDBase, keeping each partition's id range disjoint
+	// for the gateway's id-range job lookup routing.
+	PartitionID int
+	Partitions  int
+	IDBase      int
+
 	// Tenants, when non-nil, turns on multi-tenancy: submissions carry a
 	// tenant name, dequeue order is weighted-fair across tenants (class
 	// weight × tenant weight), per-tenant quotas and rate limits reject
@@ -272,6 +288,7 @@ func New(set *trace.Set, clusters []sched.Cluster, cfg Config, opts ...Option) (
 		now:        time.Now,
 		clusters:   clusters,
 		cfg:        cfg,
+		nextID:     cfg.IDBase,
 		inBatch:    make(map[int]bool),
 		origins:    make(map[string]string, len(clusters)),
 	}
@@ -480,6 +497,19 @@ type StatsResponse struct {
 	// lag — for followers, promoted primaries, and primaries with an
 	// advertise URL.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Partition identifies this server's slice of a partitioned fleet;
+	// absent unless Config.Partitions is set.
+	Partition *PartitionInfo `json:"partition,omitempty"`
+}
+
+// PartitionInfo is the /v1/stats partition echo: which of the Count
+// partitions this server is, and where its auto-assigned id range
+// starts. internal/gateway reads it (together with the clusters block)
+// to learn routing tables from the partitions themselves.
+type PartitionInfo struct {
+	ID     int `json:"id"`
+	Count  int `json:"count"`
+	IDBase int `json:"id_base"`
 }
 
 // TenantStatsEntry is one tenant's row in the /v1/stats tenants block:
@@ -501,10 +531,14 @@ type TenantStatsEntry struct {
 
 // ErrorResponse is the JSON error body. Primary carries the
 // write-redirect hint on 421 responses from a follower (see client.go
-// for the contract).
+// for the contract). RetryAfter mirrors the Retry-After header on
+// backpressure rejections (429/503): seconds until a retry can
+// succeed, carried in-body too so it survives every proxy and client
+// hop that preserves the JSON error shape.
 type ErrorResponse struct {
-	Error   string `json:"error"`
-	Primary string `json:"primary,omitempty"`
+	Error      string `json:"error"`
+	Primary    string `json:"primary,omitempty"`
+	RetryAfter int    `json:"retry_after,omitempty"`
 }
 
 // Handler returns the HTTP handler for the service. On a follower,
@@ -585,6 +619,63 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 }
 
+// retryAfterHint computes the Retry-After seconds for a backpressure
+// rejection: a rate 429 carries the gate's token-refill time, a quota
+// 429 the wall-clock remainder of the current fleet hour (the quota
+// window resets on the hour rollover), and a 503 a short fixed hint —
+// capacity drains as the fleet steps, there is no exact bound.
+func (s *Server) retryAfterHint(status int, err error) int {
+	switch {
+	case errors.Is(err, tenant.ErrRate):
+		if after := tenant.RetryAfterSeconds(err); after > 0 {
+			return after
+		}
+		return 1
+	case errors.Is(err, tenant.ErrQuota):
+		return s.quotaRetryAfter()
+	case status == http.StatusServiceUnavailable:
+		return 1
+	}
+	return 0
+}
+
+// quotaRetryAfter maps the remainder of the current fleet hour into
+// wall seconds through the replay speedup. The quota window is keyed
+// to the fleet hour, so this is exactly when the rejected tenant's
+// budget resets.
+func (s *Server) quotaRetryAfter() int {
+	elapsed := s.now().UTC().Sub(s.traceStart)
+	rem := time.Hour
+	if elapsed > 0 {
+		if into := elapsed % time.Hour; into > 0 {
+			rem = time.Hour - into
+		}
+	}
+	speed := s.cfg.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+	after := int((rem.Seconds() + speed - 1) / speed)
+	if after < 1 {
+		after = 1
+	}
+	return after
+}
+
+// writeAdmitError renders an admission rejection, stamping the
+// Retry-After hint (header and retry_after body field) on every
+// 429/503 so clients and the gateway can pace their retries.
+func (s *Server) writeAdmitError(w http.ResponseWriter, status int, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		if after := s.retryAfterHint(status, err); after > 0 {
+			resp.RetryAfter = after
+			w.Header().Set("Retry-After", strconv.Itoa(after))
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if mx := s.mx; mx != nil {
 		mx.submitJSON.Inc()
@@ -629,7 +720,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	arrival, journal, seq, status, err := s.admit(ctx, jobs, auto, ids)
 	if err != nil {
-		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		s.writeAdmitError(w, status, err)
 		return
 	}
 	// The durability wait runs after admitMu is released: buffering the
@@ -848,6 +939,9 @@ func (s *Server) stats() StatsResponse {
 		Utilization:     st.Utilization(),
 		Durability:      s.durabilityStats(),
 		Replication:     s.replicationStats(),
+	}
+	if s.cfg.Partitions > 0 {
+		resp.Partition = &PartitionInfo{ID: s.cfg.PartitionID, Count: s.cfg.Partitions, IDBase: s.cfg.IDBase}
 	}
 	if st.Submitted > 0 {
 		resp.MissRate = float64(st.Missed) / float64(st.Submitted)

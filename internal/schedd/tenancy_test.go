@@ -333,6 +333,97 @@ func TestBackpressureStatusTaxonomy(t *testing.T) {
 	}
 }
 
+// TestRetryAfterHints pins the Retry-After contract: every 429 and 503
+// carries a hint — in the Retry-After header and as the JSON body's
+// retry_after field, which is what survives proxies and typed clients —
+// sized to when a retry could actually succeed. 413 carries none: an
+// oversized body never fits by waiting.
+func TestRetryAfterHints(t *testing.T) {
+	tcfg, err := tenant.NewConfig([]tenant.Spec{
+		{Name: "q", QuotaJobsPerHour: 1},
+		{Name: "r", RatePerSec: 0.001, Burst: 1},
+		{Name: "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := &wallClock{t: t0}
+	_, client, _ := startServer(t, Config{Policy: sched.FIFO{}, MaxQueue: 4, Tenants: tcfg}, 1,
+		WithGateClock(wc.now))
+	ctx := context.Background()
+
+	// Rate: r's bucket holds one token; refilling the next one at
+	// 0.001/s takes exactly 1000 seconds. Both wire protocols carry the
+	// same hint.
+	if _, err := client.Submit(ctx, tjob("r")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Submit(ctx, tjob("r"))
+	wantStatus(t, "rate rejection", err, http.StatusTooManyRequests, "rate limited")
+	if got := httpx.RetryAfterOf(err); got != 1000 {
+		t.Fatalf("rate Retry-After = %d, want the 1000s token deficit", got)
+	}
+	_, err = client.SubmitBatch(ctx, tjob("r"))
+	wantStatus(t, "binary rate rejection", err, http.StatusTooManyRequests, "rate limited")
+	if got := httpx.RetryAfterOf(err); got != 1000 {
+		t.Fatalf("binary rate Retry-After = %d, want 1000", got)
+	}
+
+	// Quota: q's window reopens with the next fleet hour. The replay
+	// clock sits exactly on an hour boundary and Speedup defaults to 1,
+	// so the hint is the full hour in wall seconds.
+	if _, err := client.Submit(ctx, tjob("q")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Submit(ctx, tjob("q"))
+	wantStatus(t, "quota rejection", err, http.StatusTooManyRequests, "quota exceeded")
+	if got := httpx.RetryAfterOf(err); got != 3600 {
+		t.Fatalf("quota Retry-After = %d, want 3600 (remainder of the fleet hour)", got)
+	}
+	// The hint also rides the standard HTTP header for generic clients.
+	resp, err := http.Post(client.Endpoint()+"/v1/jobs", "application/json",
+		strings.NewReader(`{"origin":"CLEAN","tenant":"q","length_hours":1,"slack_hours":48}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") != "3600" {
+		t.Fatalf("raw quota rejection: status %d, Retry-After header %q, want 429 / 3600",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Capacity: the queue drains as soon as the fleet steps, so the
+	// 503 hint is the minimum — retry in a second.
+	if _, err := client.Submit(ctx, tjob("cap"), tjob("cap")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Submit(ctx, tjob("cap"))
+	wantStatus(t, "capacity rejection", err, http.StatusServiceUnavailable, "queue full")
+	if got := httpx.RetryAfterOf(err); got != 1 {
+		t.Fatalf("queue-full Retry-After = %d, want 1", got)
+	}
+
+	// Oversize: no hint — waiting cannot shrink the request.
+	_, err = client.Submit(ctx, JobRequest{Origin: strings.Repeat("x", httpx.MaxBody), LengthHours: 1})
+	wantStatus(t, "oversize rejection", err, http.StatusRequestEntityTooLarge, "exceeds")
+	if got := httpx.RetryAfterOf(err); got != 0 {
+		t.Fatalf("413 Retry-After = %d, want none", got)
+	}
+
+	// Speedup scales the quota hint: at 3600x replay, the hour's
+	// remainder is one wall second.
+	_, fast, _ := startServer(t, Config{Policy: sched.FIFO{}, Tenants: tcfg, Speedup: 3600}, 1)
+	if _, err := fast.Submit(ctx, tjob("q")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = fast.Submit(ctx, tjob("q"))
+	wantStatus(t, "sped-up quota rejection", err, http.StatusTooManyRequests, "quota exceeded")
+	if got := httpx.RetryAfterOf(err); got != 1 {
+		t.Fatalf("quota Retry-After at 3600x = %d, want 1", got)
+	}
+}
+
 // TestTenantMetricsExposition: /metrics carries the per-tenant
 // families, aggregates unlisted tenants under the bounded "other"
 // label, and attributes migration carbon savings to the owning tenant.

@@ -3,6 +3,7 @@ package tenant
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -14,6 +15,28 @@ var (
 	ErrQuota = errors.New("tenant quota exceeded")
 	ErrRate  = errors.New("tenant rate limited")
 )
+
+// retryableError decorates a rejection with the wall-clock seconds
+// after which a retry can succeed — the Retry-After hint. It unwraps
+// to the underlying classification error, so errors.Is(err, ErrRate)
+// keeps working, and its message is the undecorated rejection.
+type retryableError struct {
+	err   error
+	after int
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// RetryAfterSeconds extracts the retry hint carried by an admission
+// rejection, or 0 if the error carries none.
+func RetryAfterSeconds(err error) int {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return re.after
+	}
+	return 0
+}
 
 // Gate enforces per-tenant admission limits: a jobs-per-fleet-hour
 // quota (deterministic — keyed to the replayed hour, so property tests
@@ -86,8 +109,17 @@ func (g *Gate) Check(name string, n, hour int) error {
 		}
 	}
 	if sp.RatePerSec > 0 {
-		if g.peekTokens(name, sp) < float64(n) {
-			return fmt.Errorf("tenant %q: %w (%.3g jobs/s)", name, ErrRate, sp.RatePerSec)
+		if tokens := g.peekTokens(name, sp); tokens < float64(n) {
+			// The bucket refills at RatePerSec, so the deficit divided
+			// by the rate is exactly how long the caller must wait.
+			after := int(math.Ceil((float64(n) - tokens) / sp.RatePerSec))
+			if after < 1 {
+				after = 1
+			}
+			return &retryableError{
+				err:   fmt.Errorf("tenant %q: %w (%.3g jobs/s)", name, ErrRate, sp.RatePerSec),
+				after: after,
+			}
 		}
 	}
 	return nil
